@@ -1,0 +1,28 @@
+"""Print Table 1 (program statistics + static analysis) and the SOTER
+comparison.  Usage: ``python benchmarks/run_table1.py``"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from tables import build_table1, soter_comparison  # noqa: E402
+
+
+def main():
+    print("=" * 100)
+    print("Table 1 — program statistics and results of the P# static analyzer")
+    print("=" * 100)
+    for row in build_table1():
+        print(row.format())
+    print()
+    print("SOTER-P# precision comparison (Sections 5.5, 7.2.1)")
+    for name, row in soter_comparison().items():
+        print(
+            f"  {name:<12} ours: {row['ours']} violations   "
+            f"SOTER-style: {row['soter']} false positives"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Print Table 2 (CHESS RD-on/RD-off vs P# DFS vs P# random on the buggy
+PSharpBench programs).
+
+Usage: ``python benchmarks/run_table2.py [max_schedules] [time_limit_s]``
+Defaults: 300 schedules / 25s per cell (the paper used 10,000 / 300s).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from tables import build_table2  # noqa: E402
+
+
+def main():
+    max_iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    time_limit = float(sys.argv[2]) if len(sys.argv) > 2 else 25.0
+    print("=" * 100)
+    print(
+        f"Table 2 — bug finding, at most {max_iterations} schedules / "
+        f"{time_limit:.0f}s per cell"
+    )
+    print("=" * 100)
+    for name, cells in build_table2(max_iterations, time_limit).items():
+        print(f"--- {name}")
+        for cell in cells:
+            print("   ", cell.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Hunting a deep consensus bug: Raft's stale-vote double leader.
+
+Table 2 reports Raft's seeded bug as the rarest (2% of schedules, DFS
+never reaches it within bounds).  This example compares the DFS and
+random schedulers on it and replays the found trace — the Section 6.2
+workflow end to end.
+
+Run: ``python examples/find_raft_bug.py``
+"""
+
+from repro import DfsStrategy, RandomStrategy, TestingEngine, replay
+from repro.bench import get
+
+
+def main():
+    benchmark = get("Raft")
+    buggy_main = benchmark.buggy.main
+
+    print("DFS scheduler, 300 schedules (explores one corner of the tree):")
+    engine = TestingEngine(
+        buggy_main, strategy=DfsStrategy(), max_iterations=300,
+        stop_on_first_bug=True, max_steps=5_000, time_limit=60,
+    )
+    report = engine.run()
+    print(f"   {report.summary()}")
+
+    print("\nrandom scheduler, up to 5000 schedules:")
+    engine = TestingEngine(
+        buggy_main, strategy=RandomStrategy(seed=7), max_iterations=5_000,
+        stop_on_first_bug=True, max_steps=5_000, time_limit=120,
+    )
+    report = engine.run()
+    print(f"   {report.summary()}")
+
+    if report.bug_found:
+        trace = report.first_bug.trace
+        print(f"\nreplaying the {len(trace)}-decision trace:")
+        result = replay(buggy_main, trace)
+        print(f"   {result.bug}")
+        assert result.buggy, "replay must reproduce the bug"
+        print("   reproduced deterministically.")
+    else:
+        print("   (bug not hit with this seed/budget — it is a 2%-class bug;"
+              " try a different seed)")
+
+
+if __name__ == "__main__":
+    main()

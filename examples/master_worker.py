@@ -1,0 +1,65 @@
+"""The Figure 1 master-worker system: run it, test it, analyze it.
+
+Uses the AsyncSystem benchmark (the Section 3 / Section 7.1 architecture):
+a Dispatcher coordinating services that flip between master and worker
+roles, with the abstract service API of BaseService.
+
+Run: ``python examples/master_worker.py``
+"""
+
+from repro import DfsStrategy, RandomStrategy, TestingEngine
+from repro.analysis.frontend import analyze_machines
+from repro.bench.async_system import (
+    BUG_DRIVERS,
+    BaseService,
+    Dispatcher,
+    UserService,
+)
+
+
+def main():
+    print("systematic test of the correct master-worker system")
+    engine = TestingEngine(
+        Dispatcher,
+        strategy=RandomStrategy(seed=1),
+        max_iterations=300,
+        stop_on_first_bug=True,
+        max_steps=5_000,
+    )
+    report = engine.run()
+    print(f"   {report.summary()}")
+    assert not report.bug_found
+
+    print("\nstatic race analysis of the same classes")
+    analysis = analyze_machines(
+        [Dispatcher, UserService, BaseService], name="master-worker", xsa=True
+    )
+    print(f"   verified race-free: {analysis.verified}")
+
+    print("\nhunting the five seeded case-study bugs (Section 7.1)")
+    for bug, (driver, service) in sorted(BUG_DRIVERS.items()):
+        engine = TestingEngine(
+            driver,
+            strategy=RandomStrategy(seed=13),
+            max_iterations=2_000,
+            stop_on_first_bug=True,
+            max_steps=5_000,
+        )
+        report = engine.run()
+        status = (
+            f"found at schedule {report.first_bug_iteration}: "
+            f"{report.first_bug.kind}"
+            if report.bug_found
+            else "not found"
+        )
+        print(f"   {bug}: {status}")
+
+    print("\nbug4 is an ownership race — the static analyzer catches it too:")
+    driver, service = BUG_DRIVERS["bug4"]
+    analysis = analyze_machines([driver, service, BaseService], name="bug4")
+    for diag in analysis.to_report().violations[:2]:
+        print(f"   {diag}")
+
+
+if __name__ == "__main__":
+    main()

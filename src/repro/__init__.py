@@ -1,0 +1,95 @@
+"""repro: a Python reproduction of P# — asynchronous programming, analysis
+and testing with state machines (Deligiannis et al., PLDI 2015).
+
+Public API overview
+-------------------
+
+Programming model (:mod:`repro.core`):
+    ``Machine``, ``State``, ``Event``, ``Halt``, ``MachineId``, ``Runtime``
+
+Systematic concurrency testing (:mod:`repro.testing`):
+    ``TestingEngine``, ``BugFindingRuntime``, ``DfsStrategy``,
+    ``RandomStrategy``, ``ReplayStrategy``, ``PctStrategy``,
+    ``DelayBoundingStrategy``, ``replay``
+
+Static data race analysis (:mod:`repro.analysis`):
+    ``analyze_program``, ``analyze_machines`` — the ownership-based
+    analysis of Section 5, including cross-state analysis (xSA) and the
+    read-only extension.
+
+Core calculus (:mod:`repro.lang`):
+    the paper's Figure 2 language, its operational semantics (Figures 3-4)
+    and a dynamic race detector.
+
+Baselines: :mod:`repro.chess` (CHESS-style SCT) and :mod:`repro.soter`
+(SOTER-style ownership inference).  Benchmarks: :mod:`repro.bench`.
+"""
+
+from .core import (
+    Event,
+    Halt,
+    Machine,
+    MachineId,
+    Runtime,
+    State,
+    machine_statistics,
+    program_statistics,
+)
+from .errors import (
+    ActionError,
+    AnalysisDiagnostic,
+    AnalysisReport,
+    AssertionFailure,
+    BugReport,
+    LivenessError,
+    MachineDeclarationError,
+    PSharpError,
+    UnhandledEventError,
+)
+from .testing import (
+    BugFindingRuntime,
+    DelayBoundingStrategy,
+    DfsStrategy,
+    ExecutionResult,
+    PctStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    ScheduleTrace,
+    TestingEngine,
+    TestReport,
+    replay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "Halt",
+    "Machine",
+    "MachineId",
+    "Runtime",
+    "State",
+    "machine_statistics",
+    "program_statistics",
+    "PSharpError",
+    "MachineDeclarationError",
+    "UnhandledEventError",
+    "AssertionFailure",
+    "ActionError",
+    "LivenessError",
+    "BugReport",
+    "AnalysisDiagnostic",
+    "AnalysisReport",
+    "TestingEngine",
+    "TestReport",
+    "BugFindingRuntime",
+    "ExecutionResult",
+    "DfsStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "PctStrategy",
+    "DelayBoundingStrategy",
+    "ScheduleTrace",
+    "replay",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Static data race analysis (Section 5): taint-based heap overlap,
+gives-up (Figure 5), respects-ownership (Section 5.3), cross-state
+analysis (Section 5.4) and the read-only extension (Section 8)."""
+
+from .engine import ProgramAnalysis, analyze_program
+from .ownership import GiveUpSite, OwnershipAnalysis, OwnershipViolation
+from .readonly import ReadOnlyAnalysis
+from .taint import FactMap, MethodInfo, Summary, TaintEngine
+from .xsa import Driver, build_driver
+
+__all__ = [
+    "analyze_program",
+    "ProgramAnalysis",
+    "OwnershipAnalysis",
+    "OwnershipViolation",
+    "GiveUpSite",
+    "ReadOnlyAnalysis",
+    "TaintEngine",
+    "MethodInfo",
+    "Summary",
+    "FactMap",
+    "Driver",
+    "build_driver",
+]

@@ -1,0 +1,106 @@
+"""Taint summaries for Python's builtin containers.
+
+The Python frontend lowers ``list``/``dict``/``set``/``tuple`` operations
+to method calls on summary-only classes (``ClassDecl.taint_summary``).
+Summaries use the same role convention as computed method summaries:
+``flows[in_role] = {out_roles}`` means heap reachable from ``in_role`` at
+entry may be reachable from each ``out_role`` after the call; ``mutates``
+lists roles whose reachable heap the operation writes.
+
+The frontend synthesizes a few pseudo-methods:
+
+``$get`` / ``$set``      subscript read / write
+``$item``                an arbitrary element (loop iteration, min/max, ...)
+``$add``                 literal construction (``[a, b]`` appends twice)
+``$copy``                shallow copy (shares elements)
+"""
+
+from __future__ import annotations
+
+from ..lang.ir import ClassDecl
+
+_THIS = frozenset({"this"})
+_RET = frozenset({"$ret"})
+_THIS_RET = frozenset({"this", "$ret"})
+
+
+def _summary(flows=None, mutates=(), sends=False):
+    return {
+        "flows": {k: frozenset(v) for k, v in (flows or {}).items()},
+        "mutates": frozenset(mutates),
+        "sends": sends,
+    }
+
+
+_LIST_METHODS = {
+    "append": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "extend": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "insert": _summary({"$fp1": _THIS}, mutates=["this"]),
+    "remove": _summary(mutates=["this"]),
+    "pop": _summary({"this": _THIS_RET}, mutates=["this"]),
+    "clear": _summary(mutates=["this"]),
+    "sort": _summary(mutates=["this"]),
+    "reverse": _summary(mutates=["this"]),
+    "copy": _summary({"this": _THIS_RET}),
+    "index": _summary(),
+    "count": _summary(),
+    "$get": _summary({"this": _THIS_RET}),
+    "$set": _summary({"$fp0": _THIS, "$fp1": _THIS}, mutates=["this"]),
+    "$item": _summary({"this": _THIS_RET}),
+    "$add": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "$copy": _summary({"this": _THIS_RET}),
+}
+
+_DICT_METHODS = {
+    "get": _summary({"this": _THIS_RET, "$fp1": _RET}),
+    "pop": _summary({"this": _THIS_RET}, mutates=["this"]),
+    "setdefault": _summary({"this": _THIS_RET, "$fp1": _THIS_RET}, mutates=["this"]),
+    "update": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "clear": _summary(mutates=["this"]),
+    "keys": _summary({"this": _THIS_RET}),
+    "values": _summary({"this": _THIS_RET}),
+    "items": _summary({"this": _THIS_RET}),
+    "copy": _summary({"this": _THIS_RET}),
+    "$get": _summary({"this": _THIS_RET}),
+    "$set": _summary({"$fp0": _THIS, "$fp1": _THIS}, mutates=["this"]),
+    "$item": _summary({"this": _THIS_RET}),
+    "$add": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "$copy": _summary({"this": _THIS_RET}),
+    "$del": _summary(mutates=["this"]),
+}
+
+_SET_METHODS = {
+    "add": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "discard": _summary(mutates=["this"]),
+    "remove": _summary(mutates=["this"]),
+    "pop": _summary({"this": _THIS_RET}, mutates=["this"]),
+    "clear": _summary(mutates=["this"]),
+    "union": _summary({"this": _RET, "$fp0": _RET}),
+    "copy": _summary({"this": _THIS_RET}),
+    "$get": _summary({"this": _THIS_RET}),
+    "$item": _summary({"this": _THIS_RET}),
+    "$add": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "$copy": _summary({"this": _THIS_RET}),
+}
+
+_TUPLE_METHODS = {
+    "$get": _summary({"this": _THIS_RET}),
+    "$item": _summary({"this": _THIS_RET}),
+    "$add": _summary({"$fp0": _THIS}, mutates=["this"]),
+    "$copy": _summary({"this": _THIS_RET}),
+    "index": _summary(),
+    "count": _summary(),
+}
+
+
+def builtin_classes() -> dict:
+    """Summary-only ClassDecls registered by the Python frontend."""
+    return {
+        "list": ClassDecl(name="list", taint_summary=_LIST_METHODS),
+        "dict": ClassDecl(name="dict", taint_summary=_DICT_METHODS),
+        "set": ClassDecl(name="set", taint_summary=_SET_METHODS),
+        "tuple": ClassDecl(name="tuple", taint_summary=_TUPLE_METHODS),
+    }
+
+
+CONTAINER_TYPES = frozenset({"list", "dict", "set", "tuple"})

@@ -1,0 +1,456 @@
+"""Inter-procedural taint tracking implementing ``may_overlap`` (Sec. 5.1).
+
+The paper implements its heap-overlap predicates "through an
+inter-procedural taint tracking analysis.  The analysis is flow- and
+context-sensitive. ... Our summary function is member variable
+insensitive, i.e. when we note in our analysis that a member of an object
+should become tainted, we taint the whole object instead."
+
+Two propagation modes are provided:
+
+``closure_facts`` (bidirectional)
+    Computes, for a seed ``(v, N)``, the set of variables at every program
+    point that may reach a heap object reachable from ``v`` on entry to
+    ``N``.  Facts propagate forward through assignments *and* backward
+    (e.g. ``tainted(ret, Exit)(Entry) = {this}`` for Example 4.1's
+    ``get_next``): the paper's ``tainted`` function relates arbitrary node
+    pairs, which requires tracking value flows in both directions.
+
+``forward_facts`` (forward-only)
+    Used for condition 3 of Section 5.3 (uses *after* the give-up point)
+    and for method summaries.  Seeded with the full overlap closure at the
+    give-up point, forward propagation is sound for temporally-later uses
+    while keeping the strong updates that make the cross-state analysis
+    precise (a handler's fresh payload kills stale taint — see
+    Example 5.5 and the xSA discussion in DESIGN.md).
+
+Context sensitivity comes from per-method summaries: for each input role
+(``this`` or a formal parameter) the summary records the output roles
+(including the pseudo-role ``$ret``) its taint may flow to, plus the roles
+whose reachable heap the method may *mutate* (used by the read-only
+extension).  Summaries are computed as a whole-program fixed point, which
+converges because roles and methods are finite and flows only grow.
+
+Library calls without source are havocked: "each heap object reachable
+before the call is reachable from all variables involved in the call once
+the call returns" (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..lang.cfg import Cfg, Node
+from ..lang.ir import (
+    Assert,
+    Assign,
+    Call,
+    ClassDecl,
+    Const,
+    CreateMachine,
+    External,
+    If,
+    LoadField,
+    MethodDecl,
+    New,
+    Nondet,
+    Op,
+    Program,
+    Return,
+    Send,
+    Stmt,
+    StoreField,
+    While,
+    is_scalar,
+)
+
+RET = "$ret"
+MethodKey = Tuple[str, str]  # (class name, method name)
+
+
+@dataclass
+class Summary:
+    """Taint summary of one method.
+
+    ``flows[r]`` — output roles tainted at exit when input role ``r`` is
+    tainted at entry.  ``mutates`` — input roles whose reachable heap the
+    method may write.  ``sends`` — whether the method (transitively)
+    performs a send.
+    """
+
+    flows: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    mutates: FrozenSet[str] = frozenset()
+    sends: bool = False
+
+    def flow(self, role: str) -> FrozenSet[str]:
+        return self.flows.get(role, frozenset())
+
+
+def havoc_summary(arity: int) -> Summary:
+    """The conservative summary for calls into code without source."""
+    roles = ["this"] + [f"$fp{i}" for i in range(arity)]
+    every = frozenset(roles + [RET])
+    return Summary(
+        flows={r: every for r in roles},
+        mutates=frozenset(roles),
+        sends=False,
+    )
+
+
+@dataclass
+class FactMap:
+    """Per-node IN/OUT taint sets of one intra-procedural run."""
+
+    ins: Dict[int, FrozenSet[str]]
+    outs: Dict[int, FrozenSet[str]]
+
+    def in_of(self, node: Node) -> FrozenSet[str]:
+        return self.ins.get(node.index, frozenset())
+
+    def out_of(self, node: Node) -> FrozenSet[str]:
+        return self.outs.get(node.index, frozenset())
+
+
+class MethodInfo:
+    """Resolved method: declaration, CFG and reference-variable typing."""
+
+    def __init__(
+        self, class_name: str, decl: MethodDecl, cfg: Optional[Cfg] = None
+    ) -> None:
+        self.class_name = class_name
+        self.decl = decl
+        self.cfg = cfg if cfg is not None else Cfg(decl)
+        self.ref_vars: Set[str] = {"this"}
+        self._types: Dict[str, str] = {"this": class_name}
+        for var in list(decl.params) + list(decl.locals):
+            self._types[var.name] = var.type
+            if var.is_reference and var.type != "machine":
+                self.ref_vars.add(var.name)
+
+    def is_ref(self, name: str) -> bool:
+        if name in self.ref_vars:
+            return True
+        # Unknown names are literals or untyped temporaries; temporaries
+        # are declared by the frontends, so unknowns are literals: scalar.
+        return False
+
+    def type_of(self, name: str) -> Optional[str]:
+        return self._types.get(name)
+
+    @property
+    def key(self) -> MethodKey:
+        return (self.class_name, self.decl.name)
+
+
+class TaintEngine:
+    """Whole-program taint engine with memoized per-seed queries."""
+
+    def __init__(self, program: Program, extra_methods: Iterable[MethodInfo] = ()) -> None:
+        self.program = program
+        self.methods: Dict[MethodKey, MethodInfo] = {}
+        for cls in program.classes.values():
+            for method in cls.methods.values():
+                info = MethodInfo(cls.name, method)
+                self.methods[info.key] = info
+        for info in extra_methods:
+            self.methods[info.key] = info
+        self.summaries: Dict[MethodKey, Summary] = {}
+        self._closure_cache: Dict[Tuple[MethodKey, str, int], FactMap] = {}
+        self._compute_summaries()
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def register(self, info: MethodInfo) -> None:
+        """Add a synthetic method (used by the cross-state analysis)."""
+        self.methods[info.key] = info
+        self._summarize(info)  # callees' summaries already stable
+
+    def resolve_call(self, caller: MethodInfo, stmt: Call) -> Tuple[Optional[Summary], Optional[MethodKey]]:
+        """Summary for a call site, or a havoc summary when unresolvable."""
+        recv_type = caller.type_of(stmt.recv)
+        if recv_type is None or is_scalar(recv_type) or recv_type == "machine":
+            return havoc_summary(len(stmt.args)), None
+        cls = self.program.classes.get(recv_type)
+        if cls is None:
+            return havoc_summary(len(stmt.args)), None
+        if cls.taint_summary is not None:
+            entry = cls.taint_summary.get(stmt.method)
+            if entry is None:
+                return havoc_summary(len(stmt.args)), None
+            return (
+                Summary(
+                    flows=dict(entry.get("flows", {})),
+                    mutates=frozenset(entry.get("mutates", ())),
+                    sends=bool(entry.get("sends", False)),
+                ),
+                None,
+            )
+        key = (cls.name, stmt.method)
+        if key not in self.methods:
+            return havoc_summary(len(stmt.args)), None
+        return self.summaries.get(key, Summary()), key
+
+    @staticmethod
+    def role_to_actual(stmt: Call, callee: Optional[MethodInfo], role: str) -> Optional[str]:
+        """Map a callee role to the caller-side actual variable."""
+        if role == "this":
+            return stmt.recv
+        if role == RET:
+            return stmt.dst
+        if role.startswith("$fp"):
+            index = int(role[3:])
+            return stmt.args[index] if index < len(stmt.args) else None
+        if callee is not None:
+            for index, param in enumerate(callee.decl.params):
+                if param.name == role:
+                    return stmt.args[index] if index < len(stmt.args) else None
+        return None
+
+    def call_role_pairs(self, stmt: Call, key: Optional[MethodKey]) -> List[Tuple[str, str]]:
+        """(role, actual) pairs for the call's inputs."""
+        pairs = [("this", stmt.recv)]
+        callee = self.methods.get(key) if key is not None else None
+        for index, arg in enumerate(stmt.args):
+            if callee is not None and index < len(callee.decl.params):
+                pairs.append((callee.decl.params[index].name, arg))
+            else:
+                pairs.append((f"$fp{index}", arg))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Transfer functions
+    # ------------------------------------------------------------------
+    def _fwd(self, info: MethodInfo, node: Node, taints: FrozenSet[str]) -> FrozenSet[str]:
+        stmt = node.stmt
+        if stmt is None or isinstance(stmt, (Send, Assert, If, While, CreateMachine)):
+            # CreateMachine's destination is a machine id (scalar).
+            if isinstance(stmt, CreateMachine):
+                return taints - {stmt.dst}
+            return taints
+        if isinstance(stmt, Assign):
+            out = taints - {stmt.dst}
+            if stmt.src in taints and info.is_ref(stmt.dst):
+                out |= {stmt.dst}
+            return out
+        if isinstance(stmt, (Const, New, Op, Nondet, External)):
+            return taints - {stmt.dst}
+        if isinstance(stmt, LoadField):
+            out = taints - {stmt.dst}
+            if "this" in taints and info.is_ref(stmt.dst):
+                out |= {stmt.dst}
+            return out
+        if isinstance(stmt, StoreField):
+            if stmt.src in taints:
+                return taints | {"this"}
+            return taints
+        if isinstance(stmt, Return):
+            if stmt.var is not None and stmt.var in taints:
+                return taints | {RET}
+            return taints
+        if isinstance(stmt, Call):
+            summary, key = self.resolve_call(info, stmt)
+            out = set(taints)
+            if stmt.dst is not None:
+                out.discard(stmt.dst)
+            for role, actual in self.call_role_pairs(stmt, key):
+                if actual not in taints:
+                    continue
+                for out_role in summary.flow(role):
+                    target = self.role_to_actual(
+                        stmt, self.methods.get(key) if key else None, out_role
+                    )
+                    if target is not None and info.is_ref(target):
+                        out.add(target)
+            return frozenset(out)
+        return taints
+
+    def _bwd(self, info: MethodInfo, node: Node, taints: FrozenSet[str]) -> FrozenSet[str]:
+        stmt = node.stmt
+        if stmt is None or isinstance(stmt, (Send, Assert, If, While)):
+            return taints
+        if isinstance(stmt, CreateMachine):
+            return taints - {stmt.dst}
+        if isinstance(stmt, Assign):
+            out = taints - {stmt.dst}
+            if stmt.dst in taints and info.is_ref(stmt.src):
+                out |= {stmt.src}
+            return out
+        if isinstance(stmt, (Const, New, Op, Nondet, External)):
+            return taints - {stmt.dst}
+        if isinstance(stmt, LoadField):
+            out = taints - {stmt.dst}
+            if stmt.dst in taints:
+                out |= {"this"}
+            return out
+        if isinstance(stmt, StoreField):
+            # this@after reaches old-this's heap *and* src's heap: either
+            # may hold the overlap object.
+            if "this" in taints and info.is_ref(stmt.src):
+                return taints | {stmt.src}
+            return taints
+        if isinstance(stmt, Return):
+            if RET in taints and stmt.var is not None and info.is_ref(stmt.var):
+                return taints | {stmt.var}
+            return taints
+        if isinstance(stmt, Call):
+            summary, key = self.resolve_call(info, stmt)
+            callee = self.methods.get(key) if key is not None else None
+            out = set(taints)
+            if stmt.dst is not None:
+                out.discard(stmt.dst)
+            for role, actual in self.call_role_pairs(stmt, key):
+                for out_role in summary.flow(role):
+                    target = self.role_to_actual(stmt, callee, out_role)
+                    tainted_after = (
+                        stmt.dst in taints if out_role == RET else (target in taints)
+                    )
+                    if tainted_after and info.is_ref(actual):
+                        out.add(actual)
+            return frozenset(out)
+        return taints
+
+    # ------------------------------------------------------------------
+    # Dataflow drivers
+    # ------------------------------------------------------------------
+    def forward_facts(
+        self,
+        info: MethodInfo,
+        seeds: Dict[int, FrozenSet[str]],
+    ) -> FactMap:
+        """Forward-only propagation; ``seeds`` maps node index -> vars
+        injected into that node's IN set."""
+        ins: Dict[int, Set[str]] = {n.index: set() for n in info.cfg.nodes}
+        outs: Dict[int, Set[str]] = {n.index: set() for n in info.cfg.nodes}
+        for index, vars_ in seeds.items():
+            ins[index] |= vars_
+        changed = True
+        while changed:
+            changed = False
+            for node in info.cfg.nodes:
+                in_set = set(ins[node.index])
+                for pred in node.preds:
+                    in_set |= outs[pred.index]
+                if in_set != ins[node.index]:
+                    ins[node.index] = in_set
+                    changed = True
+                out_set = set(self._fwd(info, node, frozenset(in_set)))
+                if out_set != outs[node.index]:
+                    outs[node.index] = out_set
+                    changed = True
+        return FactMap(
+            {k: frozenset(v) for k, v in ins.items()},
+            {k: frozenset(v) for k, v in outs.items()},
+        )
+
+    def closure_facts(self, info: MethodInfo, seed_var: str, seed_node: Node) -> FactMap:
+        """Bidirectional may-overlap closure for seed (var at entry of node)."""
+        cache_key = (info.key, seed_var, seed_node.index)
+        cached = self._closure_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        ins: Dict[int, Set[str]] = {n.index: set() for n in info.cfg.nodes}
+        outs: Dict[int, Set[str]] = {n.index: set() for n in info.cfg.nodes}
+        ins[seed_node.index].add(seed_var)
+        changed = True
+        while changed:
+            changed = False
+            for node in info.cfg.nodes:
+                in_set = set(ins[node.index])
+                for pred in node.preds:
+                    in_set |= outs[pred.index]  # forward along edges
+                in_set |= self._bwd(info, node, frozenset(outs[node.index]))
+                if in_set != ins[node.index]:
+                    ins[node.index] = in_set
+                    changed = True
+                out_set = set(outs[node.index])
+                out_set |= self._fwd(info, node, frozenset(in_set))
+                for succ in node.succs:
+                    out_set |= ins[succ.index]  # backward along edges
+                if out_set != outs[node.index]:
+                    outs[node.index] = out_set
+                    changed = True
+        result = FactMap(
+            {k: frozenset(v) for k, v in ins.items()},
+            {k: frozenset(v) for k, v in outs.items()},
+        )
+        self._closure_cache[cache_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def _compute_summaries(self) -> None:
+        for key in self.methods:
+            self.summaries[key] = Summary()
+        changed = True
+        while changed:
+            changed = False
+            for info in list(self.methods.values()):
+                new = self._summarize(info)
+                old = self.summaries[info.key]
+                if new.flows != old.flows or new.mutates != old.mutates or new.sends != old.sends:
+                    self.summaries[info.key] = new
+                    changed = True
+
+    def _summarize(self, info: MethodInfo) -> Summary:
+        roles = ["this"] + [p.name for p in info.decl.params if p.is_reference and p.type != "machine"]
+        flows: Dict[str, FrozenSet[str]] = {}
+        mutated: Set[str] = set()
+        sends = self._method_sends(info)
+        for role in roles:
+            facts = self.forward_facts(info, {info.cfg.entry.index: frozenset({role})})
+            exit_taints = facts.in_of(info.cfg.exit)
+            outputs = set()
+            for out_role in roles:
+                if out_role in exit_taints and out_role != role:
+                    outputs.add(out_role)
+            if role in exit_taints:
+                outputs.add(role)  # identity preserved unless killed
+            if RET in exit_taints:
+                outputs.add(RET)
+            flows[role] = frozenset(outputs)
+            if self._role_mutated(info, role, facts):
+                mutated.add(role)
+        summary = Summary(flows=flows, mutates=frozenset(mutated), sends=sends)
+        self.summaries[info.key] = summary
+        return summary
+
+    def _method_sends(self, info: MethodInfo) -> bool:
+        for node in info.cfg.statement_nodes():
+            if isinstance(node.stmt, (Send, CreateMachine)):
+                return True
+            if isinstance(node.stmt, Call):
+                summary, _key = self.resolve_call(info, node.stmt)
+                if summary.sends:
+                    return True
+        return False
+
+    def _machine_class_names(self) -> frozenset:
+        return frozenset(m.class_name for m in self.program.machines.values())
+
+    def _role_mutated(self, info: MethodInfo, role: str, facts: FactMap) -> bool:
+        """Whether heap reachable from ``role`` at entry may be written."""
+        machine_classes = self._machine_class_names()
+        for node in info.cfg.statement_nodes():
+            stmt = node.stmt
+            taints = facts.in_of(node)
+            if isinstance(stmt, StoreField):
+                # The object written is the receiver itself.  A machine
+                # instance is never part of a payload (only MachineIds
+                # travel), so a store into a *machine's* own field cannot
+                # mutate heap reachable from a payload role; for helper
+                # objects the receiver may be reachable from a parameter,
+                # so overlap is conservatively enough.
+                if role == "this":
+                    return True
+                if "this" in taints and info.class_name not in machine_classes:
+                    return True
+                continue
+            if isinstance(stmt, Call):
+                summary, key = self.resolve_call(info, stmt)
+                for in_role, actual in self.call_role_pairs(stmt, key):
+                    if actual in taints and in_role in summary.mutates:
+                        return True
+        return False

@@ -1,0 +1,5 @@
+"""Benchmark programs: PSharpBench, SOTER-P# and the AsyncSystem case study."""
+
+from .registry import Benchmark, Variant, all_benchmarks, get, suite
+
+__all__ = ["Benchmark", "Variant", "all_benchmarks", "get", "suite"]

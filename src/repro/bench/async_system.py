@@ -1,0 +1,444 @@
+"""AsyncSystem: the Section 7.1 case-study stand-in.
+
+The paper ports "a large asynchronous system from Microsoft, used for
+rapid development of distributed services": a dispatcher plus a library
+of abstract APIs that service authors inherit (the Figure 1 master-worker
+architecture).  The proprietary system is not available, so this module
+reproduces its *shape*: a ``Dispatcher`` machine coordinating a set of
+``BaseService`` machines that can be flipped between master and worker
+roles, an abstract service API (``initialize_state`` / ``update_state`` /
+``copy_state`` / ``process_client_request``) overridden by a concrete
+``UserService``, and a client-request pump.
+
+Five seeded bugs mirror the case study's five findings (two found while
+porting, three during analysis and testing); each is enabled by a
+dedicated driver so the harness can hunt them one at a time:
+
+bug1  a worker flipped to master while a copy is in flight replies to a
+      stale eCopyState and two masters serve simultaneously;
+bug2  the dispatcher forgets to re-arm its ack counter between rounds;
+bug3  update applied to a worker that was already demoted (unhandled
+      event in the demoted state);
+bug4  the master broadcasts its live state list (an ownership race, the
+      kind the static analyzer catches);
+bug5  a service acknowledges a role change before completing its state
+      hand-off, losing an update.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EChangeToMaster(Event):
+    """(worker list)"""
+
+
+class EChangeToWorker(Event):
+    """(dispatcher)"""
+
+
+class EUpdateState(Event):
+    """(value)"""
+
+
+class ECopyState(Event):
+    """(master state snapshot)"""
+
+
+class EClientRequest(Event):
+    """(value)"""
+
+
+class EAck(Event):
+    pass
+
+
+class EConfig(Event):
+    """(dispatcher, service index)"""
+
+
+ROUNDS = 4
+
+
+class BaseService(Machine):
+    """The abstract service API of Figure 1: subclasses override the four
+    abstract actions; states and transitions are inherited."""
+
+    class Init(State):
+        initial = True
+        entry = "service_init"
+        transitions = {
+            EChangeToMaster: "Master",
+            EChangeToWorker: "Worker",
+        }
+        deferred = (EUpdateState, ECopyState, EClientRequest)
+
+    class Worker(State):
+        entry = "enter_worker"
+        transitions = {EChangeToMaster: "Master", EChangeToWorker: "Worker"}
+        actions = {EUpdateState: "on_update", ECopyState: "on_copy"}
+        ignored = (EClientRequest,)
+
+    class Master(State):
+        entry = "enter_master"
+        transitions = {EChangeToWorker: "Worker", EChangeToMaster: "Master"}
+        actions = {EClientRequest: "on_client_request"}
+        ignored = (EUpdateState, ECopyState)
+
+    def service_init(self):
+        config = self.payload
+        self.dispatcher = config[0]
+        self.service_id = config[1]
+        self.state_data = []
+        self.initialize_state()
+
+    def enter_worker(self):
+        self.send(self.dispatcher, EAck())
+
+    def enter_master(self):
+        workers = self.payload
+        self.workers = workers
+        self.send(self.dispatcher, EAck())
+        for worker in self.workers:
+            snapshot = self.copy_state()
+            self.send(worker, ECopyState(snapshot))
+
+    def on_update(self):
+        self.update_state(self.payload)
+
+    def on_copy(self):
+        snapshot = self.payload
+        self.state_data = snapshot
+
+    def on_client_request(self):
+        self.process_client_request(self.payload)
+        for worker in self.workers:
+            self.send(worker, EUpdateState(self.payload))
+
+    # -- the abstract API -------------------------------------------------
+    def initialize_state(self):
+        pass
+
+    def update_state(self, value):
+        pass
+
+    def copy_state(self):
+        return []
+
+    def process_client_request(self, value):
+        pass
+
+
+class UserService(BaseService):
+    """A concrete service: keeps an append-only list of applied values."""
+
+    def initialize_state(self):
+        self.applied = []
+
+    def update_state(self, value):
+        self.applied.append(value)
+        self.state_data.append(value)
+
+    def copy_state(self):
+        snapshot = []
+        for value in self.state_data:
+            snapshot.append(value)
+        return snapshot
+
+    def process_client_request(self, value):
+        self.applied.append(value)
+        self.state_data.append(value)
+
+
+class Dispatcher(Machine):
+    """Figure 1's coordinator: rotates the master role and pumps client
+    requests, one round per ack."""
+
+    class Booting(State):
+        initial = True
+        entry = "setup"
+        transitions = {EAck: "Querying"}
+
+    class Querying(State):
+        entry = "on_ack"
+        transitions = {EAck: "Querying"}
+
+    def setup(self):
+        self.services = []
+        self.services.append(self.create_machine(UserService, (self.id, 0)))
+        self.services.append(self.create_machine(UserService, (self.id, 1)))
+        self.services.append(self.create_machine(UserService, (self.id, 2)))
+        self.round = 0
+        self.master_index = 0
+        self.assign_roles()
+
+    def assign_roles(self):
+        master = self.services[self.master_index]
+        workers = [s for s in self.services if s != master]
+        for worker in workers:
+            self.send(worker, EChangeToWorker((self.id,)))
+        self.send(master, EChangeToMaster(workers))
+
+    def on_ack(self):
+        self.round = self.round + 1
+        if self.round >= ROUNDS:
+            for service in self.services:
+                self.send(service, Halt())
+            self.halt()
+            return
+        choice = self.nondet_int(3)
+        master = self.services[self.master_index]
+        if choice == 0:
+            self.send(master, EClientRequest(self.round))
+        elif choice == 1:
+            self.master_index = (self.master_index + 1) % 3
+            self.assign_roles()
+        else:
+            self.send(master, EClientRequest(self.round * 10))
+
+
+# ---------------------------------------------------------------------------
+# The five seeded bugs
+# ---------------------------------------------------------------------------
+class Bug1Service(UserService):
+    """bug1: the Master state handles ECopyState instead of ignoring it.
+    During a double rotation, the previous master's in-flight snapshot
+    reaches the NEW master and rolls its state back; the next client
+    request trips the monotonicity assert."""
+
+    class Master(State):
+        entry = "enter_master"
+        transitions = {EChangeToWorker: "Worker", EChangeToMaster: "Master"}
+        actions = {
+            EClientRequest: "on_client_request",
+            ECopyState: "on_copy",  # BUG: master must ignore stale copies
+        }
+        ignored = (EUpdateState,)
+
+    def initialize_state(self):
+        self.applied = []
+        self.version = 0
+
+    def process_client_request(self, value):
+        self.assert_that(
+            len(self.state_data) >= self.version,
+            "master state rolled back by a stale snapshot",
+        )
+        self.applied.append(value)
+        self.state_data.append(value)
+        self.version = len(self.state_data)
+
+
+class Bug2Dispatcher(Dispatcher):
+    """bug2: a duplicate role flip is sent but not accounted for — the
+    dispatcher's ack bookkeeping eventually sees more acks than role
+    changes it believes it issued."""
+
+    def setup(self):
+        self.acks_seen = 0
+        self.changes_issued = 0
+        self.services = []
+        self.services.append(self.create_machine(UserService, (self.id, 0)))
+        self.services.append(self.create_machine(UserService, (self.id, 1)))
+        self.services.append(self.create_machine(UserService, (self.id, 2)))
+        self.round = 0
+        self.master_index = 0
+        self.assign_roles()
+
+    def assign_roles(self):
+        master = self.services[self.master_index]
+        workers = [s for s in self.services if s != master]
+        for worker in workers:
+            self.send(worker, EChangeToWorker((self.id,)))
+        self.send(master, EChangeToMaster(workers))
+        self.send(master, EChangeToMaster(workers))  # BUG: duplicate flip
+        self.changes_issued = self.changes_issued + 3  # ...counted as 3
+
+    def on_ack(self):
+        self.acks_seen = self.acks_seen + 1
+        self.assert_that(
+            self.acks_seen <= self.changes_issued,
+            "more acks than issued role changes",
+        )
+        self.round = self.round + 1
+        if self.round >= ROUNDS:
+            for service in self.services:
+                self.send(service, Halt())
+            self.halt()
+            return
+        choice = self.nondet_int(3)
+        master = self.services[self.master_index]
+        if choice == 0:
+            self.send(master, EClientRequest(self.round))
+        elif choice == 1:
+            self.master_index = (self.master_index + 1) % 3
+            self.assign_roles()
+        else:
+            self.send(master, EClientRequest(self.round * 10))
+
+
+class Bug3Service(UserService):
+    """bug3: the demoted state forgets its EUpdateState binding — a late
+    update to a just-demoted worker is an unhandled event."""
+
+    class Worker(State):
+        entry = "enter_worker"
+        transitions = {EChangeToMaster: "Master", EChangeToWorker: "Worker"}
+        actions = {ECopyState: "on_copy"}  # BUG: EUpdateState unbound
+        ignored = (EClientRequest,)
+
+
+class Bug4Service(UserService):
+    """bug4: copy_state leaks the LIVE state list (the ownership race the
+    static analyzer flags).  At runtime, workers appending updates to the
+    shared list corrupt the master's length bookkeeping."""
+
+    def initialize_state(self):
+        self.applied = []
+        self.version = 0
+
+    def copy_state(self):
+        return self.state_data  # BUG: live reference escapes
+
+    def enter_master(self):
+        workers = self.payload
+        self.workers = workers
+        self.version = len(self.state_data)
+        self.send(self.dispatcher, EAck())
+        for worker in self.workers:
+            snapshot = self.copy_state()
+            self.send(worker, ECopyState(snapshot))
+
+    def process_client_request(self, value):
+        self.assert_that(
+            len(self.state_data) == self.version,
+            "master state mutated behind its back (shared snapshot)",
+        )
+        self.applied.append(value)
+        self.state_data.append(value)
+        self.version = len(self.state_data)
+
+
+class Bug5Service(UserService):
+    """bug5: acknowledges a role change before the state hand-off and may
+    skip the hand-off entirely; updates stream length hints so stale
+    workers notice the lost snapshot."""
+
+    def enter_master(self):
+        workers = self.payload
+        self.workers = workers
+        self.send(self.dispatcher, EAck())  # ack before the hand-off
+        if self.nondet():
+            for worker in self.workers:
+                snapshot = self.copy_state()
+                self.send(worker, ECopyState(snapshot))
+        # BUG: on the other branch the hand-off never happens.
+
+    def on_client_request(self):
+        self.process_client_request(self.payload)
+        expected = len(self.state_data)
+        for worker in self.workers:
+            self.send(worker, EUpdateState((self.payload, expected)))
+
+    def on_update(self):
+        msg = self.payload
+        self.update_state(msg[0])
+        self.assert_that(
+            len(self.state_data) == msg[1],
+            "update applied over a missing state hand-off",
+        )
+
+
+class _BugDriverBase(Dispatcher):
+    """Dispatcher mixing client requests with master rotations."""
+
+    def setup(self):
+        self.services = []
+        self.build_services()
+        self.round = 0
+        self.master_index = 0
+        self.assign_roles()
+
+    def build_services(self):
+        pass
+
+    def on_ack(self):
+        self.round = self.round + 1
+        if self.round >= ROUNDS:
+            for service in self.services:
+                self.send(service, Halt())
+            self.halt()
+            return
+        choice = self.nondet_int(3)
+        master = self.services[self.master_index]
+        if choice == 0:
+            self.send(master, EClientRequest(self.round))
+        elif choice == 1:
+            self.master_index = (self.master_index + 1) % 3
+            self.assign_roles()
+        else:
+            self.send(master, EClientRequest(self.round * 10))
+
+
+class Bug1Driver(_BugDriverBase):
+    def build_services(self):
+        self.services.append(self.create_machine(Bug1Service, (self.id, 0)))
+        self.services.append(self.create_machine(Bug1Service, (self.id, 1)))
+        self.services.append(self.create_machine(Bug1Service, (self.id, 2)))
+
+
+class Bug2Driver(Bug2Dispatcher):
+    pass
+
+
+class Bug3Driver(_BugDriverBase):
+    def build_services(self):
+        self.services.append(self.create_machine(Bug3Service, (self.id, 0)))
+        self.services.append(self.create_machine(Bug3Service, (self.id, 1)))
+        self.services.append(self.create_machine(Bug3Service, (self.id, 2)))
+
+
+class Bug4Driver(_BugDriverBase):
+    def build_services(self):
+        self.services.append(self.create_machine(Bug4Service, (self.id, 0)))
+        self.services.append(self.create_machine(Bug4Service, (self.id, 1)))
+        self.services.append(self.create_machine(Bug4Service, (self.id, 2)))
+
+
+class Bug5Driver(_BugDriverBase):
+    def build_services(self):
+        self.services.append(self.create_machine(Bug5Service, (self.id, 0)))
+        self.services.append(self.create_machine(Bug5Service, (self.id, 1)))
+        self.services.append(self.create_machine(Bug5Service, (self.id, 2)))
+
+
+BUG_DRIVERS = {
+    "bug1": (Bug1Driver, Bug1Service),
+    "bug2": (Bug2Driver, UserService),
+    "bug3": (Bug3Driver, Bug3Service),
+    "bug4": (Bug4Driver, Bug4Service),
+    "bug5": (Bug5Driver, Bug5Service),
+}
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="AsyncSystem",
+        suite="case-study",
+        correct=Variant(
+            machines=[Dispatcher, UserService, BaseService], main=Dispatcher
+        ),
+        racy=Variant(
+            machines=[Bug4Driver, Bug4Service, BaseService], main=Bug4Driver
+        ),
+        buggy=Variant(
+            machines=[Bug3Driver, Bug3Service, BaseService], main=Bug3Driver
+        ),
+        seeded_races=1,
+        notes="Section 7.1 stand-in; five seeded bugs in BUG_DRIVERS",
+    )
+)

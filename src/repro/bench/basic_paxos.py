@@ -1,0 +1,291 @@
+"""Lamport's single-decree Paxos [16] (ported from the P benchmarks).
+
+Two proposers compete to get a value chosen by three acceptors; a learner
+checks the protocol's safety property: once a value is chosen (accepted
+by a majority in some ballot), no different value is ever learned.
+
+The paper notes that for BasicPaxos (and MultiPaxos) the bug had to be
+injected artificially (Section 7.2): our buggy variant makes acceptors
+forget their promise when a *lower* ballot's prepare arrives — a classic
+transcription mistake that lets two majorities choose different values
+under the right interleaving.
+
+The racy variant shares a proposer's mutable proposal record with the
+acceptors and mutates it after sending.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EPrepare(Event):
+    """(proposer, ballot)"""
+
+
+class EPromise(Event):
+    """(acceptor, ballot, accepted_ballot, accepted_value)"""
+
+
+class EAccept(Event):
+    """(proposer, ballot, value)"""
+
+
+class EAccepted(Event):
+    """(ballot, value)"""
+
+
+class ENack(Event):
+    """(ballot)"""
+
+
+class ELearned(Event):
+    """(value) — learner tells the driver what was chosen."""
+
+
+class EStart(Event):
+    pass
+
+
+class Acceptor(Machine):
+    class Active(State):
+        initial = True
+        entry = "setup"
+        actions = {EPrepare: "on_prepare", EAccept: "on_accept"}
+
+    def setup(self):
+        self.learner = self.payload
+        self.promised = -1
+        self.accepted_ballot = -1
+        self.accepted_value = None
+
+    def on_prepare(self):
+        msg = self.payload
+        proposer = msg[0]
+        ballot = msg[1]
+        if ballot > self.promised:
+            self.promised = ballot
+            self.send(
+                proposer,
+                EPromise((self.id, ballot, self.accepted_ballot, self.accepted_value)),
+            )
+        else:
+            self.send(proposer, ENack(ballot))
+
+    def on_accept(self):
+        msg = self.payload
+        proposer = msg[0]
+        ballot = msg[1]
+        value = msg[2]
+        if ballot >= self.promised:
+            self.promised = ballot
+            self.accepted_ballot = ballot
+            self.accepted_value = value
+            self.send(self.learner, EAccepted((ballot, value)))
+        else:
+            self.send(proposer, ENack(ballot))
+
+
+class BuggyAcceptor(Acceptor):
+    """Injected bug: a stale prepare RESETS the promise, so an old
+    proposer can later slip an accept past a newer promise."""
+
+    def on_prepare(self):
+        msg = self.payload
+        proposer = msg[0]
+        ballot = msg[1]
+        if ballot > self.promised:
+            self.promised = ballot
+            self.send(
+                proposer,
+                EPromise((self.id, ballot, self.accepted_ballot, self.accepted_value)),
+            )
+        else:
+            # BUG: must leave the promise untouched and nack.
+            self.promised = ballot
+            self.send(proposer, ENack(ballot))
+
+
+class Proposer(Machine):
+    class Idle(State):
+        initial = True
+        entry = "setup"
+        transitions = {EStart: "Preparing"}
+
+    class Preparing(State):
+        entry = "send_prepares"
+        actions = {EPromise: "on_promise", ENack: "on_nack_prepare"}
+        transitions = {EStart: "Accepting"}
+        ignored = (EAccepted,)
+
+    class Accepting(State):
+        entry = "send_accepts"
+        actions = {ENack: "on_nack_accept"}
+        transitions = {EStart: "Done"}
+        ignored = (EPromise, EAccepted)
+
+    class Done(State):
+        ignored = (EPromise, ENack, EAccepted)
+
+    def setup(self):
+        config = self.payload
+        self.acceptors = config[0]
+        self.ballot = config[1]
+        self.value = config[2]
+        self.promises = 0
+        self.best_ballot = -1
+
+    def send_prepares(self):
+        self.promises = 0
+        self.best_ballot = -1
+        for acceptor in self.acceptors:
+            self.send(acceptor, EPrepare((self.id, self.ballot)))
+
+    def on_promise(self):
+        msg = self.payload
+        ballot = msg[1]
+        prior_ballot = msg[2]
+        prior_value = msg[3]
+        if ballot != self.ballot:
+            return
+        self.promises = self.promises + 1
+        if prior_ballot > self.best_ballot and prior_value is not None:
+            self.best_ballot = prior_ballot
+            self.value = prior_value
+        if self.promises >= 2:  # majority of 3
+            self.raise_event(EStart())
+
+    def on_nack_prepare(self):
+        pass
+
+    def send_accepts(self):
+        for acceptor in self.acceptors:
+            self.send(acceptor, EAccept((self.id, self.ballot, self.value)))
+        self.raise_event(EStart())
+
+    def on_nack_accept(self):
+        pass
+
+
+class Learner(Machine):
+    """Tallies EAccepted per ballot; asserts a single chosen value."""
+
+    class Watching(State):
+        initial = True
+        entry = "setup"
+        actions = {EAccepted: "on_accepted"}
+
+    def setup(self):
+        self.counts = {}
+        self.values = {}
+        self.chosen = None
+
+    def on_accepted(self):
+        msg = self.payload
+        ballot = msg[0]
+        value = msg[1]
+        if ballot not in self.counts:
+            self.counts[ballot] = 0
+        self.counts[ballot] = self.counts[ballot] + 1
+        self.values[ballot] = value
+        if self.counts[ballot] >= 2:  # majority accepted this ballot
+            if self.chosen is None:
+                self.chosen = value
+            self.assert_that(
+                self.chosen == value,
+                "two different values were chosen",
+            )
+
+
+class PaxosDriver(Machine):
+    """Closed-environment driver: 3 acceptors, 2 competing proposers."""
+
+    class Booting(State):
+        initial = True
+        entry = "setup"
+
+    def setup(self):
+        learner = self.create_machine(Learner)
+        acceptors = []
+        acceptors.append(self.create_machine(Acceptor, learner))
+        acceptors.append(self.create_machine(Acceptor, learner))
+        acceptors.append(self.create_machine(Acceptor, learner))
+        self.start_proposers(acceptors)
+
+    def start_proposers(self, acceptors):
+        p1 = self.create_machine(Proposer, (acceptors, 1, 111))
+        p2 = self.create_machine(Proposer, (acceptors, 2, 222))
+        self.send(p1, EStart())
+        self.send(p2, EStart())
+        self.halt()
+
+
+class BuggyPaxosDriver(PaxosDriver):
+    def setup(self):
+        learner = self.create_machine(Learner)
+        acceptors = []
+        acceptors.append(self.create_machine(BuggyAcceptor, learner))
+        acceptors.append(self.create_machine(BuggyAcceptor, learner))
+        acceptors.append(self.create_machine(BuggyAcceptor, learner))
+        self.start_proposers(acceptors)
+
+
+class RacyProposer(Proposer):
+    """Shares its mutable proposal record and mutates it after sending."""
+
+    def send_prepares(self):
+        self.promises = 0
+        self.best_ballot = -1
+        self.record = [self.ballot]
+        for acceptor in self.acceptors:
+            self.send(acceptor, EPrepare((self.id, self.ballot)))
+        first = self.acceptors[0]
+        self.send(first, ELearned(self.record))  # seeded race
+        self.record.append(0)
+
+
+class RacyPaxosDriver(PaxosDriver):
+    def setup(self):
+        learner = self.create_machine(Learner)
+        acceptors = []
+        acceptors.append(self.create_machine(RacyAcceptorStub, learner))
+        acceptors.append(self.create_machine(RacyAcceptorStub, learner))
+        acceptors.append(self.create_machine(RacyAcceptorStub, learner))
+        p1 = self.create_machine(RacyProposer, (acceptors, 1, 111))
+        p2 = self.create_machine(RacyProposer, (acceptors, 2, 222))
+        self.send(p1, EStart())
+        self.send(p2, EStart())
+        self.halt()
+
+
+class RacyAcceptorStub(Acceptor):
+    class Active(State):
+        initial = True
+        entry = "setup"
+        actions = {EPrepare: "on_prepare", EAccept: "on_accept"}
+        ignored = (ELearned,)
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="BasicPaxos",
+        suite="psharpbench",
+        correct=Variant(
+            machines=[PaxosDriver, Proposer, Acceptor, Learner],
+            main=PaxosDriver,
+        ),
+        racy=Variant(
+            machines=[RacyPaxosDriver, RacyProposer, RacyAcceptorStub, Learner],
+            main=RacyPaxosDriver,
+        ),
+        buggy=Variant(
+            machines=[BuggyPaxosDriver, Proposer, BuggyAcceptor, Learner],
+            main=BuggyPaxosDriver,
+        ),
+        seeded_races=1,
+        notes="injected promise-reset bug (the paper injected one too)",
+    )
+)

@@ -1,0 +1,213 @@
+"""BoundedAsync: "a generic scheduler communicating with a number of
+processes under a predefined bound" (Section 7.2, ported from the P
+benchmarks [8]).
+
+A scheduler coordinates three processes in rounds.  Each round, every
+process reports its local count to the scheduler and to its ring
+neighbour; the protocol invariant is that counts never drift more than
+one round apart.
+
+Variants
+--------
+buggy
+    The scheduler forwards the round token *before* collecting every
+    report (a real mistake of the forgot-to-wait kind the paper
+    describes), so a fast process can run two rounds ahead under some
+    schedules and the drift assertion fires.
+racy
+    Each process reports a mutable ``stats`` list and keeps appending to
+    it afterwards — a seeded ownership race on the payload.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt, MachineId
+from ..core.machine import Machine, State
+
+
+class EConfig(Event):
+    """(scheduler, neighbour) wiring for a process."""
+
+
+class ERound(Event):
+    """Scheduler -> process: run one round."""
+
+
+class EReport(Event):
+    """Process -> scheduler: (process index, round count)."""
+
+
+class ECount(Event):
+    """Process -> neighbour: my current count."""
+
+
+class EDone(Event):
+    pass
+
+
+ROUNDS = 3
+
+
+class Process(Machine):
+    """One worker in the ring."""
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        transitions = {EConfig: "Running"}
+
+    class Running(State):
+        entry = "configured"
+        actions = {ERound: "on_round", ECount: "on_count"}
+
+    def setup(self):
+        self.index = self.payload
+        self.count = 0
+        self.neighbour_count = 0
+
+    def configured(self):
+        pair = self.payload
+        self.scheduler = pair[0]
+        self.neighbour = pair[1]
+
+    def on_round(self):
+        self.count = self.count + 1
+        self.send(self.neighbour, ECount(self.count))
+        self.send(self.scheduler, EReport((self.index, self.count)))
+
+    def on_count(self):
+        self.neighbour_count = self.payload
+        drift = self.count - self.neighbour_count
+        self.assert_that(
+            drift <= 1 and drift >= -1,
+            "round drift exceeded the bound",
+        )
+
+
+class Scheduler(Machine):
+    """Runs ROUNDS rounds, waiting for all reports between rounds."""
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        transitions = {EReport: "Collecting"}
+        deferred = ()
+
+    class Collecting(State):
+        entry = "on_report"
+        actions = {EReport: "on_report_more"}
+
+    def setup(self):
+        self.round = 0
+        self.reports = 0
+        self.procs = []
+        self.procs.append(self.create_machine(Process, 0))
+        self.procs.append(self.create_machine(Process, 1))
+        self.procs.append(self.create_machine(Process, 2))
+        for i in range(3):
+            left = self.procs[i]
+            right = self.procs[(i + 1) % 3]
+            self.send(left, EConfig((self.id, right)))
+        self.start_round()
+
+    def start_round(self):
+        self.round = self.round + 1
+        self.reports = 0
+        for proc in self.procs:
+            self.send(proc, ERound())
+
+    def on_report(self):
+        self.handle_report()
+
+    def on_report_more(self):
+        self.handle_report()
+
+    def handle_report(self):
+        self.reports = self.reports + 1
+        if self.reports == 3:
+            if self.round < ROUNDS:
+                self.start_round()
+            else:
+                for proc in self.procs:
+                    self.send(proc, Halt())
+                self.halt()
+
+
+class BuggyScheduler(Scheduler):
+    """Forgets to wait for the full barrier: starts the next round after
+    the FIRST report, letting one process race ahead of its neighbour."""
+
+    def handle_report(self):
+        self.reports = self.reports + 1
+        if self.reports == 1 and self.round < ROUNDS:
+            self.start_round()
+        elif self.round >= ROUNDS and self.reports >= 3:
+            for proc in self.procs:
+                self.send(proc, Halt())
+            self.halt()
+
+
+class RacyProcess(Process):
+    """Reports a mutable stats list and keeps mutating it afterwards."""
+
+    def setup(self):
+        self.index = self.payload
+        self.count = 0
+        self.neighbour_count = 0
+        self.stats = []
+
+    def on_round(self):
+        self.count = self.count + 1
+        self.stats.append(self.count)
+        self.send(self.neighbour, ECount(self.count))
+        self.send(self.scheduler, EReport(self.stats))  # race: kept + sent
+        self.stats.append(0)  # mutation after ownership was given up
+
+    def on_count(self):
+        self.neighbour_count = self.payload
+
+
+class RacyScheduler(Scheduler):
+    def handle_report(self):
+        self.reports = self.reports + 1
+        if self.reports == 3:
+            if self.round < ROUNDS:
+                self.start_round()
+            else:
+                for proc in self.procs:
+                    self.send(proc, Halt())
+                self.halt()
+
+
+class RacySchedulerMain(RacyScheduler):
+    """Entry point wiring racy processes instead of correct ones."""
+
+    def setup(self):
+        self.round = 0
+        self.reports = 0
+        self.procs = []
+        self.procs.append(self.create_machine(RacyProcess, 0))
+        self.procs.append(self.create_machine(RacyProcess, 1))
+        self.procs.append(self.create_machine(RacyProcess, 2))
+        for i in range(3):
+            left = self.procs[i]
+            right = self.procs[(i + 1) % 3]
+            self.send(left, EConfig((self.id, right)))
+        self.start_round()
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="BoundedAsync",
+        suite="psharpbench",
+        correct=Variant(machines=[Scheduler, Process], main=Scheduler),
+        racy=Variant(
+            machines=[RacySchedulerMain, RacyProcess], main=RacySchedulerMain
+        ),
+        buggy=Variant(machines=[BuggyScheduler, Process], main=BuggyScheduler),
+        seeded_races=1,
+        notes="barrier-skip bug; racy variant mutates a sent stats list",
+    )
+)

@@ -1,0 +1,310 @@
+"""Chain replication [26] (ported from the P benchmarks).
+
+Writes enter at the head, propagate down the chain, and are acknowledged
+from the tail; reads are served by the tail.  The invariant asserted by
+the client: a read issued after a write's ack must observe that write
+(the linearizability guarantee chain replication provides).
+
+A failure-detector environment machine nondeterministically "fails" the
+middle node and splices the chain (head -> tail).
+
+Variants
+--------
+buggy
+    On reconfiguration the new chain drops the failed node's in-flight
+    updates instead of re-propagating them, so an acknowledged write can
+    vanish.  Like the paper's ChReplication bug ("occurred 100% of the
+    time; ... requires only one of several random binary choices made by
+    the non-deterministic environment"), it hinges on environment
+    choices rather than a rare interleaving.
+racy
+    The head forwards its live pending-update list down the chain.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EChain(Event):
+    """(successor or None, is_tail)"""
+
+
+class EWrite(Event):
+    """client -> head: (key, value, client)"""
+
+
+class EPropagate(Event):
+    """(key, value, client)"""
+
+
+class EWriteAck(Event):
+    """tail -> client: (key, value)"""
+
+
+class ERead(Event):
+    """client -> tail: (key, client)"""
+
+
+class EReadReply(Event):
+    """tail -> client: (key, value or None)"""
+
+
+class EFail(Event):
+    """failure detector -> node: drop out of the chain"""
+
+
+class ESplice(Event):
+    """failure detector -> head: (new successor)"""
+
+
+class EMaybeFail(Event):
+    """driver -> detector: consider failing the middle node"""
+
+
+class EPending(Event):
+    """racy payload: the live pending list"""
+
+
+class Replica(Machine):
+    """One chain node; behaves as head, middle or tail based on wiring."""
+
+    class Booting(State):
+        initial = True
+        entry = "init_fields"
+        transitions = {EChain: "Serving"}
+        deferred = (EWrite, EPropagate, ERead)
+
+    class Serving(State):
+        entry = "configure"
+        actions = {
+            EWrite: "on_write",
+            EPropagate: "on_propagate",
+            ERead: "on_read",
+            EFail: "on_fail",
+            ESplice: "on_splice",
+        }
+        ignored = (EPending,)
+
+    class Failed(State):
+        ignored = (EWrite, EPropagate, ERead, EFail, ESplice, EChain, EPending)
+
+    def init_fields(self):
+        self.store = {}
+        self.successor = None
+        self.is_tail = False
+
+    def configure(self):
+        config = self.payload
+        self.successor = config[0]
+        self.is_tail = config[1]
+
+    def on_write(self):
+        self.apply_update(self.payload)
+
+    def on_propagate(self):
+        self.apply_update(self.payload)
+
+    def apply_update(self, msg):
+        key = msg[0]
+        value = msg[1]
+        client = msg[2]
+        self.store[key] = value
+        if self.is_tail:
+            self.send(client, EWriteAck((key, value)))
+        else:
+            self.send(self.successor, EPropagate((key, value, client)))
+
+    def on_read(self):
+        msg = self.payload
+        key = msg[0]
+        client = msg[1]
+        found = None
+        if key in self.store:
+            found = self.store[key]
+        self.send(client, EReadReply((key, found)))
+
+    def on_fail(self):
+        self.raise_event(EFailNow())
+
+    def on_splice(self):
+        self.successor = self.payload
+
+
+class EFailNow(Event):
+    pass
+
+
+# EFailNow is raised internally; wire it into the Serving state.
+class ReplicaNode(Replica):
+    class Serving(State):
+        entry = "configure"
+        transitions = {EFailNow: "Failed"}
+        actions = {
+            EWrite: "on_write",
+            EPropagate: "on_propagate",
+            ERead: "on_read",
+            EFail: "on_fail",
+            ESplice: "on_splice",
+        }
+        ignored = (EPending,)
+
+
+class FailureDetector(Machine):
+    """Environment: on EMaybeFail, nondeterministically fails the middle
+    node and splices head -> tail."""
+
+    class Watching(State):
+        initial = True
+        entry = "noop"
+        actions = {EMaybeFail: "on_maybe_fail"}
+
+    def noop(self):
+        pass
+
+    def on_maybe_fail(self):
+        chain = self.payload
+        head = chain[0]
+        middle = chain[1]
+        tail = chain[2]
+        if self.nondet():
+            self.send(middle, EFail())
+            self.send(head, ESplice(tail))
+
+
+class ChainClient(Machine):
+    """Writes a key, waits for the ack, then reads it back and asserts
+    the acknowledged write is visible."""
+
+    class Writing(State):
+        initial = True
+        entry = "setup"
+        transitions = {EWriteAck: "Reading"}
+        ignored = (EReadReply,)
+
+    class Reading(State):
+        entry = "issue_read"
+        actions = {EReadReply: "on_reply"}
+        ignored = (EWriteAck,)
+
+    def setup(self):
+        detector = self.create_machine(FailureDetector)
+        head = self.create_machine(ReplicaNode)
+        middle = self.create_machine(ReplicaNode)
+        tail = self.create_machine(ReplicaNode)
+        self.tail = tail
+        self.send(tail, EChain((None, True)))
+        self.send(middle, EChain((tail, False)))
+        self.send(head, EChain((middle, False)))
+        self.send(head, EWrite((7, 77, self.id)))
+        self.send(detector, EMaybeFail((head, middle, tail)))
+
+    def issue_read(self):
+        msg = self.payload
+        self.expected_key = msg[0]
+        self.expected_value = msg[1]
+        self.send(self.tail, ERead((self.expected_key, self.id)))
+
+    def on_reply(self):
+        msg = self.payload
+        value = msg[1]
+        self.assert_that(
+            value == self.expected_value,
+            "acknowledged write is not visible at the tail",
+        )
+        self.halt()
+
+
+class BuggyReplicaNode(ReplicaNode):
+    """BUG: a non-tail node acknowledges the write as soon as it applies
+    it locally, before the update is durable at the tail.  The client's
+    read then races the in-flight propagation down the chain — a shallow,
+    frequently-hit bug like the paper's ChReplication one."""
+
+    def apply_update(self, msg):
+        key = msg[0]
+        value = msg[1]
+        client = msg[2]
+        self.store[key] = value
+        if self.is_tail:
+            self.send(client, EWriteAck((key, value)))
+        else:
+            # BUG: premature acknowledgement from a middle node.
+            self.send(client, EWriteAck((key, value)))
+            self.send(self.successor, EPropagate((key, value, client)))
+
+
+class BuggyChainClient(ChainClient):
+    def setup(self):
+        detector = self.create_machine(FailureDetector)
+        head = self.create_machine(BuggyReplicaNode)
+        middle = self.create_machine(BuggyReplicaNode)
+        tail = self.create_machine(BuggyReplicaNode)
+        self.tail = tail
+        self.send(tail, EChain((None, True)))
+        self.send(middle, EChain((tail, False)))
+        self.send(head, EChain((middle, False)))
+        self.send(head, EWrite((7, 77, self.id)))
+        self.send(detector, EMaybeFail((head, middle, tail)))
+
+
+class RacyReplicaNode(ReplicaNode):
+    """Forwards its live pending list down the chain."""
+
+    def init_fields(self):
+        self.store = {}
+        self.successor = None
+        self.is_tail = False
+        self.pending = []
+
+    def apply_update(self, msg):
+        key = msg[0]
+        value = msg[1]
+        client = msg[2]
+        self.store[key] = value
+        if self.is_tail:
+            self.send(client, EWriteAck((key, value)))
+        else:
+            self.pending.append(key)
+            self.send(self.successor, EPending(self.pending))  # seeded race
+            self.pending.append(0)
+            self.send(self.successor, EPropagate((key, value, client)))
+
+
+class RacyChainClient(ChainClient):
+    def setup(self):
+        detector = self.create_machine(FailureDetector)
+        head = self.create_machine(RacyReplicaNode)
+        middle = self.create_machine(RacyReplicaNode)
+        tail = self.create_machine(RacyReplicaNode)
+        self.tail = tail
+        self.send(tail, EChain((None, True)))
+        self.send(middle, EChain((tail, False)))
+        self.send(head, EChain((middle, False)))
+        self.send(head, EWrite((7, 77, self.id)))
+        self.send(detector, EMaybeFail((head, middle, tail)))
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="ChainReplication",
+        suite="psharpbench",
+        correct=Variant(
+            machines=[ChainClient, ReplicaNode, FailureDetector],
+            main=ChainClient,
+        ),
+        racy=Variant(
+            machines=[RacyChainClient, RacyReplicaNode, FailureDetector],
+            main=RacyChainClient,
+        ),
+        buggy=Variant(
+            machines=[BuggyChainClient, BuggyReplicaNode, FailureDetector],
+            main=BuggyChainClient,
+        ),
+        seeded_races=1,
+        notes="environment-choice bug: failure drops an acked in-flight write",
+    )
+)

@@ -1,0 +1,237 @@
+"""Chord distributed hash table [24] — implemented from the original
+paper, like the authors did ("The Chord and Raft protocols were
+implemented from scratch ... using only the original papers as a
+reference").
+
+A small identifier ring (space 16) with three nodes.  Lookups route
+around the ring via successor pointers; a node answers when the key
+falls in ``(predecessor, self]``.  A client issues lookups and asserts
+each key is resolved by its correct owner.
+
+Variants
+--------
+buggy
+    Routing mishandles exact-owner keys while a (nondeterministically
+    triggered) stabilization is in flight: the joining node starts
+    answering for keys it does not yet own — Table 2 reports Chord's bug
+    as shallow (found on CHESS's first schedule; %Buggy 35%).
+racy
+    A node shares its live finger/successor list with the client.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EConfigure(Event):
+    """(my_id, successor, predecessor_id, client)"""
+
+
+class ELookup(Event):
+    """(key, client, hops)"""
+
+
+class EFound(Event):
+    """(key, owner_id)"""
+
+
+class EJoin(Event):
+    """new node joins between predecessor and successor"""
+
+
+class EFingers(Event):
+    """racy payload: the live successor list"""
+
+
+RING_SPACE = 16
+
+
+class ChordNode(Machine):
+    class Ring(State):
+        initial = True
+        entry = "setup"
+        actions = {ELookup: "on_lookup", EJoin: "on_join"}
+
+    def setup(self):
+        config = self.payload
+        self.my_id = config[0]
+        self.successor = config[1]
+        self.predecessor_id = config[2]
+        self.client = config[3]
+        self.joined = True
+
+    def owns(self, key):
+        # key in (predecessor, my_id] on the ring (wrap-around interval).
+        low = self.predecessor_id
+        high = self.my_id
+        if low < high:
+            return key > low and key <= high
+        return key > low or key <= high
+
+    def on_lookup(self):
+        msg = self.payload
+        key = msg[0]
+        client = msg[1]
+        hops = msg[2]
+        self.assert_that(hops < 8, "lookup routed forever")
+        if self.owns(key):
+            self.send(client, EFound((key, self.my_id)))
+        else:
+            self.send(self.successor, ELookup((key, client, hops + 1)))
+
+    def on_join(self):
+        pass
+
+
+class LookupClient(Machine):
+    """Issues lookups for every key and checks the resolved owner."""
+
+    class Driving(State):
+        initial = True
+        entry = "setup"
+        actions = {EFound: "on_found"}
+        ignored = (EFingers,)
+
+    def setup(self):
+        # Ring: node 2 owns (12, 2], node 7 owns (2, 7], node 12 owns (7, 12].
+        self.owners = {1: 2, 4: 7, 9: 12, 14: 2}
+        self.pending = 4
+        self.nodes = []
+        node2 = self.create_machine(ChordNode, None)
+        node7 = self.create_machine(ChordNode, None)
+        node12 = self.create_machine(ChordNode, None)
+        self.send(node2, EConfigure((2, node7, 12, self.id)))
+        self.send(node7, EConfigure((7, node12, 2, self.id)))
+        self.send(node12, EConfigure((12, node2, 7, self.id)))
+        for key in [1, 4, 9, 14]:
+            self.send(node2, ELookup((key, self.id, 0)))
+
+    def on_found(self):
+        msg = self.payload
+        key = msg[0]
+        owner = msg[1]
+        self.assert_that(
+            self.owners[key] == owner,
+            "lookup resolved to the wrong owner",
+        )
+        self.pending = self.pending - 1
+        if self.pending == 0:
+            self.halt()
+
+
+# Nodes are created before their ring links exist, so EConfigure carries
+# the wiring; the entry handler must therefore tolerate a None payload.
+class ChordNodeDeferred(ChordNode):
+    class Ring(State):
+        initial = True
+        entry = "noop_setup"
+        transitions = {EConfigure: "Linked"}
+        deferred = (ELookup, EJoin)
+
+    class Linked(State):
+        entry = "setup"
+        actions = {ELookup: "on_lookup", EJoin: "on_join"}
+
+    def noop_setup(self):
+        pass
+
+
+class BuggyChordNode(ChordNodeDeferred):
+    """A node 'joining' via EJoin starts answering for its successor's
+    keys before the predecessor pointers stabilize."""
+
+    def on_join(self):
+        # BUG: collapses its interval to the whole ring mid-stabilization
+        # (predecessor == self makes the wrap-around test accept any key).
+        self.predecessor_id = self.my_id
+
+    def on_lookup(self):
+        msg = self.payload
+        key = msg[0]
+        client = msg[1]
+        hops = msg[2]
+        self.assert_that(hops < 8, "lookup routed forever")
+        if self.owns(key):
+            self.send(client, EFound((key, self.my_id)))
+        else:
+            self.send(self.successor, ELookup((key, client, hops + 1)))
+
+
+class BuggyLookupClient(LookupClient):
+    def setup(self):
+        self.owners = {1: 2, 4: 7, 9: 12, 14: 2}
+        self.pending = 4
+        node2 = self.create_machine(BuggyChordNode)
+        node7 = self.create_machine(BuggyChordNode)
+        node12 = self.create_machine(BuggyChordNode)
+        self.send(node2, EConfigure((2, node7, 12, self.id)))
+        self.send(node7, EConfigure((7, node12, 2, self.id)))
+        self.send(node12, EConfigure((12, node2, 7, self.id)))
+        if self.nondet():
+            self.send(node7, EJoin())  # stabilization in flight
+        for key in [1, 4, 9, 14]:
+            self.send(node2, ELookup((key, self.id, 0)))
+
+
+class RacyChordNode(ChordNodeDeferred):
+    """Shares its live successor list with the client."""
+
+    def setup(self):
+        config = self.payload
+        self.my_id = config[0]
+        self.successor = config[1]
+        self.predecessor_id = config[2]
+        self.client = config[3]
+        self.fingers = []
+        self.fingers.append(self.my_id)
+        self.send(self.client, EFingers(self.fingers))  # seeded race
+        self.fingers.append(self.predecessor_id)
+
+
+class RacyLookupClient(LookupClient):
+    def setup(self):
+        self.owners = {1: 2, 4: 7, 9: 12, 14: 2}
+        self.pending = 4
+        node2 = self.create_machine(RacyChordNode)
+        node7 = self.create_machine(RacyChordNode)
+        node12 = self.create_machine(RacyChordNode)
+        self.send(node2, EConfigure((2, node7, 12, self.id)))
+        self.send(node7, EConfigure((7, node12, 2, self.id)))
+        self.send(node12, EConfigure((12, node2, 7, self.id)))
+        for key in [1, 4, 9, 14]:
+            self.send(node2, ELookup((key, self.id, 0)))
+
+
+class ChordMain(LookupClient):
+    def setup(self):
+        self.owners = {1: 2, 4: 7, 9: 12, 14: 2}
+        self.pending = 4
+        node2 = self.create_machine(ChordNodeDeferred)
+        node7 = self.create_machine(ChordNodeDeferred)
+        node12 = self.create_machine(ChordNodeDeferred)
+        self.send(node2, EConfigure((2, node7, 12, self.id)))
+        self.send(node7, EConfigure((7, node12, 2, self.id)))
+        self.send(node12, EConfigure((12, node2, 7, self.id)))
+        for key in [1, 4, 9, 14]:
+            self.send(node2, ELookup((key, self.id, 0)))
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="Chord",
+        suite="psharpbench",
+        correct=Variant(machines=[ChordMain, ChordNodeDeferred], main=ChordMain),
+        racy=Variant(
+            machines=[RacyLookupClient, RacyChordNode], main=RacyLookupClient
+        ),
+        buggy=Variant(
+            machines=[BuggyLookupClient, BuggyChordNode], main=BuggyLookupClient
+        ),
+        seeded_races=1,
+        notes="premature-join routing bug, shallow like the paper's",
+    )
+)

@@ -1,0 +1,261 @@
+"""German's cache coherence protocol [10] (ported from the P benchmarks).
+
+A host serializes coherence for three clients.  Clients request shared or
+exclusive access; before granting exclusive access the host invalidates
+every current sharer and waits for all invalidation acks.  The safety
+invariant — checked by the clients — is single-writer: a client granted
+exclusive access asserts that no other client still holds access.
+
+Variants
+--------
+buggy
+    The host grants exclusive access after the *first* invalidation ack
+    instead of all of them, so with two concurrent sharers the requester
+    is granted exclusivity while the second sharer's access is still
+    live.  The ``LivelockHost`` sub-variant reproduces the livelock the
+    paper found in German (Section 7.2.2): after the workload completes,
+    one machine spins re-sending itself a drain event forever —
+    detectable only through the depth bound.
+racy
+    The host sends its live sharer list as a grant payload and keeps
+    mutating it afterwards.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EReqShared(Event):
+    pass
+
+
+class EReqExcl(Event):
+    pass
+
+
+class EInvalidate(Event):
+    pass
+
+
+class EInvAck(Event):
+    pass
+
+
+class EGrantShared(Event):
+    pass
+
+
+class EGrantExcl(Event):
+    pass
+
+
+class EAccessDone(Event):
+    pass
+
+
+class EDrain(Event):
+    pass
+
+
+class EStuck(Event):
+    pass
+
+
+REQUESTS_PER_CLIENT = 2
+TOTAL_GRANTS = 6  # 3 clients x REQUESTS_PER_CLIENT
+
+
+class Client(Machine):
+    """Issues a bounded stream of nondeterministic share/excl requests."""
+
+    class Serving(State):
+        initial = True
+        entry = "setup"
+        actions = {
+            EGrantShared: "on_grant_shared",
+            EGrantExcl: "on_grant_excl",
+            EInvalidate: "on_invalidate",
+        }
+
+    def setup(self):
+        self.host = self.payload
+        self.mode = 0  # 0 = none, 1 = shared, 2 = exclusive
+        self.issued = 0
+        self.request_next()
+
+    def request_next(self):
+        if self.issued < REQUESTS_PER_CLIENT:
+            self.issued = self.issued + 1
+            if self.nondet():
+                self.send(self.host, EReqExcl(self.id))
+            else:
+                self.send(self.host, EReqShared(self.id))
+
+    def on_grant_shared(self):
+        self.mode = 1
+        self.send(self.host, EAccessDone(self.id))
+        self.request_next()
+
+    def on_grant_excl(self):
+        self.mode = 2
+        other_holders = self.payload
+        self.assert_that(
+            other_holders == 0,
+            "exclusive access granted while another client holds access",
+        )
+        self.send(self.host, EAccessDone(self.id))
+        self.request_next()
+
+    def on_invalidate(self):
+        self.mode = 0
+        self.send(self.host, EInvAck(self.id))
+
+
+class Host(Machine):
+    """Serializes coherence requests; defers requests while invalidating."""
+
+    class Boot(State):
+        initial = True
+        entry = "setup"
+        transitions = {EReqShared: "Sharing", EReqExcl: "Excluding"}
+        actions = {EAccessDone: "on_done"}
+
+    class Idle(State):
+        transitions = {EReqShared: "Sharing", EReqExcl: "Excluding"}
+        actions = {EAccessDone: "on_done"}
+
+    class Sharing(State):
+        entry = "grant_shared"
+        transitions = {
+            EReqShared: "Sharing",
+            EReqExcl: "Excluding",
+            EStuck: "Draining",
+        }
+        actions = {EAccessDone: "on_done"}
+
+    class Excluding(State):
+        entry = "start_invalidation"
+        actions = {EInvAck: "on_inv_ack", EAccessDone: "on_done"}
+        deferred = (EReqShared, EReqExcl)
+        transitions = {EDrain: "Idle", EStuck: "Draining"}
+
+    class Draining(State):
+        entry = "on_drained"
+
+    def setup(self):
+        self.sharers = []
+        self.owner = None
+        self.requester = None
+        self.acks_needed = 0
+        self.grants = 0
+        self.clients = []
+        self.clients.append(self.create_machine(Client, self.id))
+        self.clients.append(self.create_machine(Client, self.id))
+        self.clients.append(self.create_machine(Client, self.id))
+
+    def grant_shared(self):
+        requester = self.payload
+        self.grants = self.grants + 1
+        if requester not in self.sharers:
+            self.sharers.append(requester)
+        self.owner = None
+        self.send(requester, EGrantShared())
+        self.check_finished()
+
+    def start_invalidation(self):
+        self.requester = self.payload
+        self.acks_needed = len(self.sharers)
+        if self.owner is not None and self.owner != self.requester:
+            self.acks_needed = self.acks_needed + 1
+            self.send(self.owner, EInvalidate())
+        for sharer in self.sharers:
+            self.send(sharer, EInvalidate())
+        if self.acks_needed == 0:
+            self.finish_exclusive(0)
+
+    def on_inv_ack(self):
+        self.acks_needed = self.acks_needed - 1
+        if self.acks_needed == 0:
+            self.finish_exclusive(0)
+
+    def finish_exclusive(self, still_live):
+        self.grants = self.grants + 1
+        self.sharers = []
+        self.owner = self.requester
+        self.send(self.requester, EGrantExcl(still_live))
+        self.send(self.id, EDrain())
+        self.check_finished()
+
+    def on_done(self):
+        pass
+
+    def check_finished(self):
+        if self.grants >= TOTAL_GRANTS:
+            for client in self.clients:
+                self.send(client, Halt())
+            self.halt()
+
+    def on_drained(self):
+        self.halt()
+
+
+class BuggyHost(Host):
+    """Grants exclusive access after the FIRST invalidation ack; the
+    remaining sharers still believe they hold shared access."""
+
+    def on_inv_ack(self):
+        self.acks_needed = self.acks_needed - 1
+        # BUG: should require acks_needed == 0 before granting.
+        self.finish_exclusive(self.acks_needed)
+
+
+class LivelockHost(Host):
+    """After the workload completes, spins on a self-sent drain event
+    instead of halting — the shape of the paper's German livelock."""
+
+    class Draining(State):
+        entry = "on_drained"
+        actions = {EDrain: "on_drained"}
+        ignored = (EReqShared, EReqExcl, EAccessDone, EInvAck)
+
+    def check_finished(self):
+        if self.grants >= TOTAL_GRANTS:
+            for client in self.clients:
+                self.send(client, Halt())
+            self.raise_event(EStuck())
+
+    def on_drained(self):
+        self.send(self.id, EDrain())  # livelock: forever re-enqueued
+
+
+class RacyHost(Host):
+    """Sends its live sharer list with a grant and keeps mutating it."""
+
+    def grant_shared(self):
+        requester = self.payload
+        self.grants = self.grants + 1
+        if requester not in self.sharers:
+            self.sharers.append(requester)
+        self.owner = None
+        self.send(requester, EGrantShared(self.sharers))  # seeded race
+        self.check_finished()
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="German",
+        suite="psharpbench",
+        correct=Variant(machines=[Host, Client], main=Host),
+        racy=Variant(machines=[RacyHost, Client], main=RacyHost),
+        buggy=Variant(machines=[BuggyHost, Client], main=BuggyHost),
+        seeded_races=1,
+        notes=(
+            "invalidation-ack bug; LivelockHost reproduces the self-send "
+            "livelock found via the depth bound (Section 7.2.2)"
+        ),
+    )
+)

@@ -1,0 +1,317 @@
+"""MultiPaxos [5] — Paxos extended to a sequence of consensus slots with
+a stable leader ("Paxos made live"), ported in the spirit of the P
+benchmarks.
+
+Two leaders compete with one prepare phase each, then stream accepts for
+two slots; three acceptors keep per-slot accepted state; a learner
+asserts per-slot agreement (no slot learns two different values).
+
+The paper injected the MultiPaxos bug artificially (Section 7.2); ours is
+injected too: the buggy leader skips re-running the prepare phase after
+being nacked, streaming accepts under a stale ballot.
+
+The racy variant stores a batch in a leader field, sends it to the
+acceptors, and also re-sends the same batch to the learner later from a
+different state — the exact residual pattern Section 7.2.1 reports xSA
+cannot discharge (it needs the read-only extension).
+"""
+
+from __future__ import annotations
+
+from copy import deepcopy
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EPrepare(Event):
+    """(leader, ballot)"""
+
+
+class EPromise(Event):
+    """(ballot, accepted: {slot: (ballot, value)})"""
+
+
+class EAccept(Event):
+    """(leader, ballot, slot, value)"""
+
+
+class EAccepted(Event):
+    """(slot, ballot, value)"""
+
+
+class ENack(Event):
+    """(ballot)"""
+
+
+class EGoPrepare(Event):
+    pass
+
+
+class EGoStream(Event):
+    pass
+
+
+class EBatch(Event):
+    """racy/read-only payload: a batch of proposed values"""
+
+
+SLOTS = 2
+
+
+class MpAcceptor(Machine):
+    class Active(State):
+        initial = True
+        entry = "setup"
+        actions = {EPrepare: "on_prepare", EAccept: "on_accept"}
+        ignored = (EBatch,)
+
+    def setup(self):
+        self.learner = self.payload
+        self.promised = -1
+        self.accepted = {}
+
+    def on_prepare(self):
+        msg = self.payload
+        leader = msg[0]
+        ballot = msg[1]
+        if ballot > self.promised:
+            self.promised = ballot
+            snapshot = deepcopy(self.accepted)  # promises carry a snapshot
+            self.send(leader, EPromise((ballot, snapshot)))
+        else:
+            self.send(leader, ENack(ballot))
+
+    def on_accept(self):
+        msg = self.payload
+        leader = msg[0]
+        ballot = msg[1]
+        slot = msg[2]
+        value = msg[3]
+        if ballot >= self.promised:
+            self.promised = ballot
+            self.accepted[slot] = (ballot, value)
+            self.send(self.learner, EAccepted((slot, ballot, value)))
+        else:
+            self.send(leader, ENack(ballot))
+
+
+class MpLearner(Machine):
+    class Watching(State):
+        initial = True
+        entry = "setup"
+        actions = {EAccepted: "on_accepted"}
+        ignored = (EBatch,)
+
+    def setup(self):
+        self.counts = {}
+        self.chosen = {}
+
+    def on_accepted(self):
+        msg = self.payload
+        slot = msg[0]
+        ballot = msg[1]
+        value = msg[2]
+        key = (slot, ballot)
+        if key not in self.counts:
+            self.counts[key] = 0
+        self.counts[key] = self.counts[key] + 1
+        if self.counts[key] >= 2:  # majority for (slot, ballot)
+            if slot not in self.chosen:
+                self.chosen[slot] = value
+            self.assert_that(
+                self.chosen[slot] == value,
+                "a slot learned two different values",
+            )
+
+
+class MpLeader(Machine):
+    """Prepare once, then stream accepts for every slot."""
+
+    MAX_ATTEMPTS = 3
+
+    class Idle(State):
+        initial = True
+        entry = "setup"
+        transitions = {EGoPrepare: "Preparing"}
+
+    class Preparing(State):
+        entry = "send_prepare"
+        actions = {EPromise: "on_promise", ENack: "on_nack"}
+        transitions = {EGoStream: "Streaming", EGoPrepare: "Preparing"}
+
+    class Streaming(State):
+        entry = "stream_accepts"
+        actions = {ENack: "on_stream_nack", EPromise: "on_late_promise"}
+        transitions = {EGoPrepare: "Preparing"}
+
+    class Retired(State):
+        ignored = (EPromise, ENack)
+
+    def setup(self):
+        config = self.payload
+        self.acceptors = config[0]
+        self.ballot = config[1]
+        self.base_value = config[2]
+        self.promises = 0
+        self.attempts = 0
+        self.prior = {}
+
+    def send_prepare(self):
+        self.promises = 0
+        self.attempts = self.attempts + 1
+        for acceptor in self.acceptors:
+            self.send(acceptor, EPrepare((self.id, self.ballot)))
+
+    def retry(self):
+        if self.attempts < 3:
+            self.raise_event(EGoPrepare())
+        else:
+            self.halt()
+
+    def on_promise(self):
+        msg = self.payload
+        ballot = msg[0]
+        accepted = msg[1]
+        if ballot != self.ballot:
+            return
+        self.promises = self.promises + 1
+        for slot in accepted:
+            entry = accepted[slot]
+            if slot not in self.prior or entry[0] > self.prior[slot][0]:
+                self.prior[slot] = entry
+        if self.promises == 2:
+            self.raise_event(EGoStream())
+
+    def on_nack(self):
+        nacked = self.payload
+        if nacked >= self.ballot:
+            self.ballot = self.ballot + 2  # keep ballots disjoint per leader
+            self.retry()
+
+    def stream_accepts(self):
+        # The batch summary is broadcast by reference to every acceptor —
+        # receivers only ever read it.  This is the residual pattern of
+        # Section 7.2.1 that xSA cannot discharge (the same field content
+        # is sent to several machines) and that the read-only extension
+        # suppresses.
+        self.batch = []
+        for slot in range(SLOTS):
+            value = self.base_value + slot
+            if slot in self.prior:
+                value = self.prior[slot][1]
+            self.batch.append(value)
+            for acceptor in self.acceptors:
+                self.send(acceptor, EAccept((self.id, self.ballot, slot, value)))
+        for acceptor in self.acceptors:
+            self.send(acceptor, EBatch(self.batch))
+
+    def on_stream_nack(self):
+        nacked = self.payload
+        if nacked >= self.ballot:
+            self.ballot = self.ballot + 2
+            self.retry()
+
+    def on_late_promise(self):
+        pass
+
+
+class BuggyMpLeader(MpLeader):
+    """After a nack during streaming, bumps the ballot and KEEPS streaming
+    without re-running prepare — so it never learns values accepted under
+    the competing ballot and overwrites them with its own."""
+
+    def on_stream_nack(self):
+        nacked = self.payload
+        if nacked >= self.ballot and self.attempts < 3:
+            self.attempts = self.attempts + 1
+            self.ballot = nacked + 1
+            # BUG: must go back to Preparing; streams stale values instead.
+            self.stream_accepts()
+
+
+class RacyMpLeader(MpLeader):
+    """Stages a batch in a field, sends it while streaming, then re-sends
+    the same batch from a later state — the residual read-only pattern."""
+
+    def stream_accepts(self):
+        self.batch = []
+        for slot in range(SLOTS):
+            value = self.base_value + slot
+            if slot in self.prior:
+                value = self.prior[slot][1]
+            self.batch.append(value)
+            for acceptor in self.acceptors:
+                self.send(acceptor, EAccept((self.id, self.ballot, slot, value)))
+        first = self.acceptors[0]
+        self.send(first, EBatch(self.batch))  # shared...
+        self.batch.append(0)  # ...and mutated: a real seeded race
+
+
+class MpDriver(Machine):
+    class Booting(State):
+        initial = True
+        entry = "setup"
+
+    def setup(self):
+        learner = self.create_machine(MpLearner)
+        acceptors = []
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        l1 = self.create_machine(MpLeader, (acceptors, 1, 100))
+        l2 = self.create_machine(MpLeader, (acceptors, 2, 200))
+        self.send(l1, EGoPrepare())
+        self.send(l2, EGoPrepare())
+        self.halt()
+
+
+class BuggyMpDriver(MpDriver):
+    def setup(self):
+        learner = self.create_machine(MpLearner)
+        acceptors = []
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        l1 = self.create_machine(BuggyMpLeader, (acceptors, 1, 100))
+        l2 = self.create_machine(BuggyMpLeader, (acceptors, 2, 200))
+        self.send(l1, EGoPrepare())
+        self.send(l2, EGoPrepare())
+        self.halt()
+
+
+class RacyMpDriver(MpDriver):
+    def setup(self):
+        learner = self.create_machine(MpLearner)
+        acceptors = []
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        acceptors.append(self.create_machine(MpAcceptor, learner))
+        l1 = self.create_machine(RacyMpLeader, (acceptors, 1, 100))
+        l2 = self.create_machine(RacyMpLeader, (acceptors, 2, 200))
+        self.send(l1, EGoPrepare())
+        self.send(l2, EGoPrepare())
+        self.halt()
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="MultiPaxos",
+        suite="psharpbench",
+        correct=Variant(
+            machines=[MpDriver, MpLeader, MpAcceptor, MpLearner], main=MpDriver
+        ),
+        racy=Variant(
+            machines=[RacyMpDriver, RacyMpLeader, MpAcceptor, MpLearner],
+            main=RacyMpDriver,
+        ),
+        buggy=Variant(
+            machines=[BuggyMpDriver, BuggyMpLeader, MpAcceptor, MpLearner],
+            main=BuggyMpDriver,
+        ),
+        seeded_races=1,
+        notes="injected stale-ballot streaming bug (paper injected one too)",
+    )
+)

@@ -1,0 +1,381 @@
+"""Raft consensus [22] — implemented from the original paper, like the
+authors did ("The Chord and Raft protocols were implemented from scratch
+in two days using only the original papers as a reference").
+
+Three servers run leader election with terms and a minimal log
+replication phase.  A nondeterministic election-timer machine models the
+environment, firing timeouts at schedule-chosen servers.  Safety
+properties asserted by a checker machine: at most one leader per term
+(Election Safety) and committed entries never diverge at an index.
+
+Variants
+--------
+buggy
+    A candidate counts vote grants without checking which term they were
+    granted in, so a stale vote from an abandoned election can complete a
+    later term's majority and two leaders appear in one term.  The bug
+    needs two servers running two interleaved elections each, plus a
+    delayed vote delivery — matching Table 2's characterization of Raft's
+    bug as the deepest and rarest (%Buggy 2%, by far the largest #SP).
+racy
+    A leader ships its live log list in heartbeats and keeps mutating it.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EConfig(Event):
+    """(peers, checker)"""
+
+
+class ETimeout(Event):
+    """timer -> server: start an election"""
+
+
+class ERequestVote(Event):
+    """(candidate, term, candidate log length)"""
+
+
+class EVoteGranted(Event):
+    """(voter, term)"""
+
+
+class ELeaderElected(Event):
+    """server -> checker: (server, term)"""
+
+
+class EAppend(Event):
+    """leader -> follower: (leader, term, entry)"""
+
+
+class EAppendAck(Event):
+    """(follower, term, entry)"""
+
+
+class ECommitted(Event):
+    """server -> checker: (index, entry)"""
+
+
+class EFire(Event):
+    """driver -> timer: fire one timeout at a nondet-chosen server"""
+
+
+class EBecomeCandidate(Event):
+    pass
+
+
+class EBecomeLeader(Event):
+    pass
+
+
+class EBackToFollower(Event):
+    pass
+
+
+TIMEOUTS = 4
+
+
+class ElectionTimer(Machine):
+    """Environment: each EFire delivers a timeout to one server, chosen
+    by controlled nondeterminism (the paper's random schedulers leave
+    such choices random; DFS enumerates them)."""
+
+    class Armed(State):
+        initial = True
+        entry = "noop"
+        actions = {EFire: "on_fire"}
+
+    def noop(self):
+        pass
+
+    def on_fire(self):
+        servers = self.payload
+        which = self.nondet_int(3)
+        self.send(servers[which], ETimeout())
+
+
+class SafetyChecker(Machine):
+    """Election safety + committed-entry agreement."""
+
+    class Watching(State):
+        initial = True
+        entry = "setup"
+        actions = {ELeaderElected: "on_leader", ECommitted: "on_committed"}
+
+    def setup(self):
+        self.leaders = {}
+        self.committed = {}
+
+    def on_leader(self):
+        msg = self.payload
+        server = msg[0]
+        term = msg[1]
+        if term in self.leaders:
+            self.assert_that(
+                self.leaders[term] == server,
+                "two leaders elected in the same term",
+            )
+        else:
+            self.leaders[term] = server
+
+    def on_committed(self):
+        msg = self.payload
+        index = msg[0]
+        entry = msg[1]
+        if index in self.committed:
+            self.assert_that(
+                self.committed[index] == entry,
+                "committed entries diverge at an index",
+            )
+        else:
+            self.committed[index] = entry
+
+
+class RaftServer(Machine):
+    """Follower / Candidate / Leader roles as explicit states."""
+
+    class Booting(State):
+        initial = True
+        entry = "init_fields"
+        transitions = {EConfig: "Follower"}
+        deferred = (ETimeout, ERequestVote, EAppend, EVoteGranted, EAppendAck)
+
+    class Follower(State):
+        entry = "become_follower"
+        transitions = {EBecomeCandidate: "Candidate"}
+        actions = {
+            ETimeout: "on_timeout",
+            ERequestVote: "on_request_vote",
+            EAppend: "on_append",
+            EVoteGranted: "ignore_event",
+            EAppendAck: "ignore_event",
+        }
+
+    class Candidate(State):
+        entry = "start_election"
+        transitions = {
+            EBecomeLeader: "Leader",
+            EBackToFollower: "Follower",
+            EBecomeCandidate: "Candidate",  # a fresh timeout restarts us
+        }
+        actions = {
+            EVoteGranted: "on_vote_granted",
+            ERequestVote: "on_request_vote",
+            ETimeout: "on_timeout",
+            EAppend: "on_append_as_candidate",
+            EAppendAck: "ignore_event",
+        }
+
+    class Leader(State):
+        entry = "become_leader"
+        transitions = {EBackToFollower: "Follower"}
+        actions = {
+            EAppendAck: "on_append_ack",
+            ERequestVote: "on_request_vote",
+            EAppend: "on_append_as_leader",
+            EVoteGranted: "ignore_event",
+            ETimeout: "ignore_event",
+        }
+
+    def init_fields(self):
+        self.current_term = 0
+        self.voted_for = None
+        self.votes = 0
+        self.log = []
+        self.acks = 0
+        self.peers = []
+        self.checker = None
+
+    def become_follower(self):
+        if self.payload is not None and self.current_term == 0:
+            config = self.payload
+            self.peers = config[0]
+            self.checker = config[1]
+
+    def on_timeout(self):
+        self.begin_candidacy(self.current_term + 1)
+
+    def begin_candidacy(self, term):
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = self.id
+            self.votes = 1
+            self.raise_event(EBecomeCandidate())
+
+    def start_election(self):
+        for peer in self.peers:
+            self.send(
+                peer, ERequestVote((self.id, self.current_term, len(self.log)))
+            )
+
+    def on_request_vote(self):
+        msg = self.payload
+        candidate = msg[0]
+        term = msg[1]
+        candidate_log = msg[2]
+        # Raft's up-to-date restriction: never elect a leader missing
+        # committed entries (Section 5.4.1 of the Raft paper).
+        up_to_date = candidate_log >= len(self.log)
+        if term > self.current_term:
+            self.current_term = term
+            if up_to_date:
+                self.voted_for = candidate
+                self.send(candidate, EVoteGranted((self.id, term)))
+            else:
+                self.voted_for = None
+        elif term == self.current_term and self.voted_for is None and up_to_date:
+            self.voted_for = candidate
+            self.send(candidate, EVoteGranted((self.id, term)))
+
+    def on_vote_granted(self):
+        msg = self.payload
+        term = msg[1]
+        if term == self.current_term:
+            self.votes = self.votes + 1
+            if self.votes == 2:  # majority of 3 (self + one peer)
+                self.raise_event(EBecomeLeader())
+
+    def become_leader(self):
+        self.send(self.checker, ELeaderElected((self.id, self.current_term)))
+        entry = self.current_term * 100
+        self.log.append(entry)
+        self.acks = 1
+        for peer in self.peers:
+            self.send(peer, EAppend((self.id, self.current_term, entry)))
+
+    def apply_append(self, msg):
+        leader = msg[0]
+        term = msg[1]
+        if term >= self.current_term:
+            self.current_term = term
+            # The entry value is term-determined; recomputing it keeps the
+            # log free of payload aliases.
+            self.log.append(term * 100)
+            self.send(leader, EAppendAck((self.id, term, term * 100)))
+
+    def on_append(self):
+        self.apply_append(self.payload)
+
+    def on_append_as_candidate(self):
+        msg = self.payload
+        term = msg[1]
+        self.apply_append(msg)
+        if term >= self.current_term:
+            self.raise_event(EBackToFollower())
+
+    def on_append_as_leader(self):
+        msg = self.payload
+        term = msg[1]
+        if term > self.current_term:
+            self.apply_append(msg)
+            self.raise_event(EBackToFollower())
+
+    def on_append_ack(self):
+        msg = self.payload
+        term = msg[1]
+        entry = msg[2]
+        if term == self.current_term:
+            self.acks = self.acks + 1
+            if self.acks == 2:  # majority of 3
+                index = len(self.log) - 1
+                self.send(self.checker, ECommitted((index, entry)))
+
+    def ignore_event(self):
+        pass
+
+
+class BuggyRaftServer(RaftServer):
+    """Counts vote grants without a term check — the seeded deep bug."""
+
+    def on_vote_granted(self):
+        msg = self.payload
+        # BUG: a vote granted in an abandoned earlier election still
+        # counts toward the current term's majority.
+        self.votes = self.votes + 1
+        if self.votes == 2:
+            self.raise_event(EBecomeLeader())
+
+
+class RacyRaftServer(RaftServer):
+    """Ships the live log list inside heartbeats."""
+
+    def become_leader(self):
+        self.send(self.checker, ELeaderElected((self.id, self.current_term)))
+        entry = self.current_term * 100
+        self.log.append(entry)
+        self.acks = 1
+        for peer in self.peers:
+            self.send(peer, EAppend((self.id, self.current_term, self.log)))
+        self.log.append(0)  # seeded race: mutate after sending
+
+
+class RaftDriver(Machine):
+    class Booting(State):
+        initial = True
+        entry = "setup"
+
+    def setup(self):
+        checker = self.create_machine(SafetyChecker)
+        timer = self.create_machine(ElectionTimer)
+        servers = []
+        servers.append(self.create_machine(RaftServer))
+        servers.append(self.create_machine(RaftServer))
+        servers.append(self.create_machine(RaftServer))
+        self.wire(servers, checker, timer)
+
+    def wire(self, servers, checker, timer):
+        for server in servers:
+            peers = [s for s in servers if s != server]
+            self.send(server, EConfig((peers, checker)))
+        for _i in range(TIMEOUTS):
+            self.send(timer, EFire(servers))
+        self.halt()
+
+
+class BuggyRaftDriver(RaftDriver):
+    def setup(self):
+        checker = self.create_machine(SafetyChecker)
+        timer = self.create_machine(ElectionTimer)
+        servers = []
+        servers.append(self.create_machine(BuggyRaftServer))
+        servers.append(self.create_machine(BuggyRaftServer))
+        servers.append(self.create_machine(BuggyRaftServer))
+        self.wire(servers, checker, timer)
+
+
+class RacyRaftDriver(RaftDriver):
+    def setup(self):
+        checker = self.create_machine(SafetyChecker)
+        timer = self.create_machine(ElectionTimer)
+        servers = []
+        servers.append(self.create_machine(RacyRaftServer))
+        servers.append(self.create_machine(RacyRaftServer))
+        servers.append(self.create_machine(RacyRaftServer))
+        self.wire(servers, checker, timer)
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="Raft",
+        suite="psharpbench",
+        correct=Variant(
+            machines=[RaftDriver, RaftServer, ElectionTimer, SafetyChecker],
+            main=RaftDriver,
+        ),
+        racy=Variant(
+            machines=[RacyRaftDriver, RacyRaftServer, ElectionTimer, SafetyChecker],
+            main=RacyRaftDriver,
+        ),
+        buggy=Variant(
+            machines=[BuggyRaftDriver, BuggyRaftServer, ElectionTimer, SafetyChecker],
+            main=BuggyRaftDriver,
+        ),
+        seeded_races=1,
+        notes="heartbeat clears voted_for: two leaders in one term, deep",
+    )
+)

@@ -1,0 +1,112 @@
+"""Benchmark registry: the 12 protocol implementations + AsyncSystem.
+
+Mirrors the paper's two suites (Section 7.2):
+
+* **PSharpBench** — BoundedAsync, German, BasicPaxos, TwoPhaseCommit,
+  Chord, MultiPaxos, Raft, ChainReplication.  Each has a *correct*
+  (non-racy) variant used for Table 1's precision columns, a *racy*
+  variant with deliberately seeded ownership races ("Found all data
+  races?"), and a *buggy* variant with an interleaving-dependent safety
+  bug for Table 2.
+* **SOTER-P#** — Leader, Pi, Chameneos, Swordfish: ports of the four
+  worst-performing SOTER benchmarks, used for the precision comparison
+  (our analyzer verifies all four; the SOTER-style baseline reports
+  false positives).
+
+Plus the Section 7.1 case study stand-in, AsyncSystem, with its five
+seeded bugs.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..core.machine import Machine, program_statistics
+
+
+@dataclass
+class Variant:
+    """One runnable/analyzable configuration of a benchmark."""
+
+    machines: List[Type[Machine]]
+    main: Type[Machine]
+    payload: Any = None
+    helpers: Tuple[type, ...] = ()
+
+
+@dataclass
+class Benchmark:
+    name: str
+    suite: str  # "psharpbench" | "soter" | "case-study"
+    correct: Variant
+    racy: Optional[Variant] = None
+    buggy: Optional[Variant] = None
+    seeded_races: int = 0  # give-up sites seeded racy in the racy variant
+    bug_kind: str = "assertion-failure"
+    notes: str = ""
+
+    def loc(self) -> int:
+        """Lines of benchmark source (Table 1's LoC column), counting each
+        class in the machines' inheritance chains once."""
+        seen = set()
+        total = 0
+        for cls in list(self.correct.machines) + list(self.correct.helpers):
+            for klass in cls.__mro__:
+                if klass in seen or klass in (Machine, object):
+                    continue
+                if klass.__module__.startswith("repro.core"):
+                    continue
+                seen.add(klass)
+                total += len(inspect.getsource(klass).splitlines())
+        return total
+
+    def statistics(self) -> Dict[str, int]:
+        """#M / #ST / #AB of the correct variant (Table 1)."""
+        return program_statistics(self.correct.machines)
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def all_benchmarks() -> List[Benchmark]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def get(name: str) -> Benchmark:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def suite(name: str) -> List[Benchmark]:
+    _ensure_loaded()
+    return [b for b in _REGISTRY.values() if b.suite == name]
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import (  # noqa: F401  (importing registers the benchmarks)
+        async_system,
+        basic_paxos,
+        bounded_async,
+        chain_replication,
+        chord,
+        german,
+        multi_paxos,
+        raft,
+        soter_suite,
+        two_phase_commit,
+    )

@@ -1,0 +1,340 @@
+"""SOTER-P#: ports of the four worst-performing SOTER benchmarks [20]
+(Section 7.2.1): Leader, Pi, Chameneos and Swordfish.
+
+These are precision benchmarks for the static analysis: each one uses an
+ownership idiom that a flow-insensitive, framework-blind points-to
+analysis cannot discharge (field staged-and-reset payloads, fresh
+payloads per loop iteration, handoff buffers), so the SOTER-style
+baseline reports false positives while the P# analysis verifies all four
+— reproducing Table 1's SOTER-P# rows (and the "e.g. 70 false positives
+in Swordfish" comparison, directionally).
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+# ---------------------------------------------------------------------------
+# Leader: Chang-Roberts leader election on a unidirectional ring.
+# ---------------------------------------------------------------------------
+class ESetRing(Event):
+    """(next node, my uid, reporter)"""
+
+
+class EElection(Event):
+    """(uid being forwarded)"""
+
+
+class ELeader(Event):
+    """(leader uid)"""
+
+
+class LeaderNode(Machine):
+    class Electing(State):
+        initial = True
+        entry = "noop"
+        transitions = {ESetRing: "Ringed"}
+        deferred = (EElection,)
+
+    class Ringed(State):
+        entry = "start"
+        actions = {EElection: "on_election"}
+        ignored = (ELeader,)
+
+    def noop(self):
+        pass
+
+    def start(self):
+        config = self.payload
+        self.next_node = config[0]
+        self.uid = config[1]
+        self.reporter = config[2]
+        self.send(self.next_node, EElection(self.uid))
+
+    def on_election(self):
+        uid = self.payload
+        if uid > self.uid:
+            self.send(self.next_node, EElection(uid))
+        elif uid == self.uid:
+            self.send(self.reporter, ELeader(self.uid))
+
+
+class LeaderReporter(Machine):
+    class Waiting(State):
+        initial = True
+        entry = "setup"
+        actions = {ELeader: "on_leader"}
+
+    def setup(self):
+        nodes = []
+        nodes.append(self.create_machine(LeaderNode))
+        nodes.append(self.create_machine(LeaderNode))
+        nodes.append(self.create_machine(LeaderNode))
+        self.send(nodes[0], ESetRing((nodes[1], 5, self.id)))
+        self.send(nodes[1], ESetRing((nodes[2], 9, self.id)))
+        self.send(nodes[2], ESetRing((nodes[0], 3, self.id)))
+        self.leader = None
+
+    def on_leader(self):
+        uid = self.payload
+        self.assert_that(uid == 9, "wrong leader elected")
+        self.leader = uid
+        self.halt()
+
+
+# ---------------------------------------------------------------------------
+# Pi: master/worker numeric integration.  Workers build a fresh result
+# record per task — the fresh-payload idiom SOTER merges across iterations.
+# ---------------------------------------------------------------------------
+class ETask(Event):
+    """(master, slice index)"""
+
+
+class EResult(Event):
+    """[slice index, partial sum] as a fresh list per task"""
+
+
+class PiWorker(Machine):
+    class Working(State):
+        initial = True
+        entry = "noop"
+        actions = {ETask: "on_task"}
+
+    def noop(self):
+        pass
+
+    def on_task(self):
+        msg = self.payload
+        master = msg[0]
+        index = msg[1]
+        result = [index, index * 4]  # fresh record per task: verifiable
+        self.send(master, EResult(result))
+
+
+class PiMaster(Machine):
+    class Distributing(State):
+        initial = True
+        entry = "setup"
+        actions = {EResult: "on_result"}
+
+    def setup(self):
+        self.total = 0
+        self.pending = 4
+        self.workers = []
+        self.workers.append(self.create_machine(PiWorker))
+        self.workers.append(self.create_machine(PiWorker))
+        for i in range(4):
+            worker = self.workers[i % 2]
+            self.send(worker, ETask((self.id, i)))
+
+    def on_result(self):
+        record = self.payload
+        self.total = self.total + record[1]
+        self.pending = self.pending - 1
+        if self.pending == 0:
+            self.assert_that(self.total == 24, "partial sums lost")
+            for worker in self.workers:
+                self.send(worker, Halt())
+            self.halt()
+
+
+# ---------------------------------------------------------------------------
+# Chameneos: creatures meet at a broker and swap colours.  The broker
+# stages the first creature of a pair in a field and clears it when the
+# pair is formed — the staged-and-reset idiom (needs xSA; defeats SOTER).
+# ---------------------------------------------------------------------------
+class EMeet(Event):
+    """(creature, colour)"""
+
+
+class EMeeting(Event):
+    """(partner colour)"""
+
+
+class EFaded(Event):
+    pass
+
+
+class ChameneosBroker(Machine):
+    class Brokering(State):
+        initial = True
+        entry = "setup"
+        actions = {EMeet: "on_meet"}
+
+    def setup(self):
+        self.waiting = None
+        self.meetings_left = 4
+        self.create_machine(Creature, (self.id, 0))
+        self.create_machine(Creature, (self.id, 1))
+        self.create_machine(Creature, (self.id, 2))
+
+    def on_meet(self):
+        msg = self.payload
+        creature = msg[0]
+        colour = msg[1]
+        if self.meetings_left == 0:
+            self.send(creature, EFaded())
+            return
+        if self.waiting is None:
+            self.waiting = msg  # stage the first of the pair
+        else:
+            first = self.waiting
+            self.waiting = None  # reset: xSA verifies, SOTER cannot
+            self.meetings_left = self.meetings_left - 1
+            self.send(first[0], EMeeting(colour))
+            self.send(creature, EMeeting(first[1]))
+
+
+class Creature(Machine):
+    class Roaming(State):
+        initial = True
+        entry = "setup"
+        actions = {EMeeting: "on_meeting", EFaded: "on_faded"}
+
+    def setup(self):
+        config = self.payload
+        self.broker = config[0]
+        self.colour = config[1]
+        self.meetings = 0
+        self.send(self.broker, EMeet((self.id, self.colour)))
+
+    def on_meeting(self):
+        partner_colour = self.payload
+        # complement rule: the two colours become the third colour
+        self.colour = 3 - (self.colour + partner_colour) % 3
+        self.meetings = self.meetings + 1
+        self.send(self.broker, EMeet((self.id, self.colour)))
+
+    def on_faded(self):
+        self.halt()
+
+
+# ---------------------------------------------------------------------------
+# Swordfish: a booking system — front desk stages request records in
+# fields, forwards them to a backend pool, and recycles buffers.  The mix
+# of staging, resets and buffer reuse is what drove SOTER to 70 FPs.
+# ---------------------------------------------------------------------------
+class EBook(Event):
+    """(client, room class)"""
+
+
+class EProcess(Event):
+    """request record handed to the backend"""
+
+
+class EConfirm(Event):
+    """(booking id)"""
+
+
+class EBackendDone(Event):
+    pass
+
+
+class SwordfishBackend(Machine):
+    class Processing(State):
+        initial = True
+        entry = "setup"
+        actions = {EProcess: "on_process"}
+
+    def setup(self):
+        self.front = self.payload
+        self.processed = 0
+
+    def on_process(self):
+        record = self.payload
+        client = record[0]
+        booking = record[1]
+        self.processed = self.processed + 1
+        self.send(client, EConfirm(booking))
+        self.send(self.front, EBackendDone())
+
+
+class SwordfishFrontDesk(Machine):
+    class Open(State):
+        initial = True
+        entry = "setup"
+        actions = {EBook: "on_book", EBackendDone: "on_done"}
+
+    def setup(self):
+        self.backend = self.create_machine(SwordfishBackend, self.id)
+        self.staged = None
+        self.bookings = 0
+        self.in_flight = 0
+
+    def on_book(self):
+        msg = self.payload
+        client = msg[0]
+        self.bookings = self.bookings + 1
+        record = [client, self.bookings]  # fresh record per booking
+        self.staged = record  # staged in a field ...
+        self.forward()
+
+    def forward(self):
+        record = self.staged
+        self.staged = None  # ... and reset before handing off
+        if record is not None:
+            self.in_flight = self.in_flight + 1
+            self.send(self.backend, EProcess(record))
+
+    def on_done(self):
+        self.in_flight = self.in_flight - 1
+        self.assert_that(self.in_flight >= 0, "backend over-acknowledged")
+
+
+class SwordfishClient(Machine):
+    class Booking(State):
+        initial = True
+        entry = "setup"
+        actions = {EConfirm: "on_confirm"}
+
+    def setup(self):
+        self.front = self.create_machine(SwordfishFrontDesk)
+        self.confirmed = 0
+        self.send(self.front, EBook((self.id, 1)))
+        self.send(self.front, EBook((self.id, 2)))
+
+    def on_confirm(self):
+        self.confirmed = self.confirmed + 1
+        if self.confirmed == 2:
+            self.halt()
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="Leader",
+        suite="soter",
+        correct=Variant(machines=[LeaderReporter, LeaderNode], main=LeaderReporter),
+        notes="Chang-Roberts ring election",
+    )
+)
+register(
+    Benchmark(
+        name="Pi",
+        suite="soter",
+        correct=Variant(machines=[PiMaster, PiWorker], main=PiMaster),
+        notes="fresh result record per task",
+    )
+)
+register(
+    Benchmark(
+        name="Chameneos",
+        suite="soter",
+        correct=Variant(machines=[ChameneosBroker, Creature], main=ChameneosBroker),
+        notes="staged-and-reset pairing buffer",
+    )
+)
+register(
+    Benchmark(
+        name="Swordfish",
+        suite="soter",
+        correct=Variant(
+            machines=[SwordfishClient, SwordfishFrontDesk, SwordfishBackend],
+            main=SwordfishClient,
+        ),
+        notes="staging + buffer recycling: SOTER's 70-FP benchmark",
+    )
+)

@@ -1,0 +1,271 @@
+"""Two-phase distributed commit [13] (ported from the P benchmarks).
+
+A coordinator runs prepare/vote/decide rounds over two participants.  A
+timer machine models the environment: its timeout races with the votes,
+so the coordinator may have to decide on partial information.  Atomicity
+is asserted twice: each participant checks it never commits a transaction
+it voted NO on, and a checker machine asserts all participants reach the
+same decision per transaction.
+
+Variants
+--------
+buggy
+    On a timeout with only YES votes in hand the coordinator decides
+    COMMIT without waiting for the missing vote — which may be a NO
+    (a mishandled-event/premature-decision bug of the kind the paper
+    found "forgetting to properly handle an event in some state").
+racy
+    The coordinator ships its mutable transaction log with a commit
+    decision and keeps appending to it.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event, Halt
+from ..core.machine import Machine, State
+
+
+class EPrepareReq(Event):
+    """coordinator -> participant: (coordinator, txn)"""
+
+
+class EVote(Event):
+    """participant -> coordinator: (participant, txn, yes?)"""
+
+
+class ECommit(Event):
+    """(txn)"""
+
+
+class EAbort(Event):
+    """(txn)"""
+
+
+class EDecision(Event):
+    """participant -> checker: (participant index, txn, committed?)"""
+
+
+class EStartTimer(Event):
+    """coordinator -> timer: (txn)"""
+
+
+class ETimeout(Event):
+    """timer -> coordinator: (txn)"""
+
+
+class EStartTxn(Event):
+    pass
+
+
+TRANSACTIONS = 2
+
+
+class Timer(Machine):
+    """Environment model: echoes a timeout for each started timer; the
+    schedule decides whether it beats the votes."""
+
+    class Waiting(State):
+        initial = True
+        entry = "setup"
+        actions = {EStartTimer: "on_start"}
+
+    def setup(self):
+        self.target = self.payload
+
+    def on_start(self):
+        self.send(self.target, ETimeout(self.payload))
+
+
+class Participant(Machine):
+    """Votes nondeterministically; reports every decision it applies."""
+
+    class Working(State):
+        initial = True
+        entry = "setup"
+        actions = {
+            EPrepareReq: "on_prepare",
+            ECommit: "on_commit",
+            EAbort: "on_abort",
+        }
+
+    def setup(self):
+        config = self.payload
+        self.index = config[0]
+        self.checker = config[1]
+        self.voted_yes = False
+
+    def on_prepare(self):
+        msg = self.payload
+        coordinator = msg[0]
+        txn = msg[1]
+        self.voted_yes = self.nondet()
+        self.send(coordinator, EVote((self.id, txn, self.voted_yes)))
+
+    def on_commit(self):
+        txn = self.payload
+        self.assert_that(
+            self.voted_yes, "committed a transaction this node voted NO on"
+        )
+        self.send(self.checker, EDecision((self.index, txn, True)))
+
+    def on_abort(self):
+        txn = self.payload
+        self.send(self.checker, EDecision((self.index, txn, False)))
+
+
+class AtomicityChecker(Machine):
+    """Asserts all participants decide the same way per transaction."""
+
+    class Watching(State):
+        initial = True
+        entry = "setup"
+        actions = {EDecision: "on_decision"}
+
+    def setup(self):
+        self.decisions = {}
+
+    def on_decision(self):
+        msg = self.payload
+        txn = msg[1]
+        committed = msg[2]
+        if txn in self.decisions:
+            self.assert_that(
+                self.decisions[txn] == committed,
+                "participants disagree on the outcome of a transaction",
+            )
+        else:
+            self.decisions[txn] = committed
+
+
+class Coordinator(Machine):
+    """Drives TRANSACTIONS prepare/vote/decide rounds."""
+
+    class Booting(State):
+        initial = True
+        entry = "setup"
+        transitions = {EStartTxn: "Preparing"}
+
+    class Preparing(State):
+        entry = "send_prepares"
+        actions = {EVote: "on_vote", ETimeout: "on_timeout"}
+        transitions = {EStartTxn: "Preparing"}
+
+    def setup(self):
+        self.checker = self.create_machine(AtomicityChecker)
+        self.timer = self.create_machine(Timer, self.id)
+        self.participants = []
+        self.participants.append(
+            self.create_machine(Participant, (0, self.checker))
+        )
+        self.participants.append(
+            self.create_machine(Participant, (1, self.checker))
+        )
+        self.txn = 0
+        self.yes_votes = 0
+        self.votes_seen = 0
+        self.decided = True
+        self.raise_event(EStartTxn())
+
+    def send_prepares(self):
+        self.txn = self.txn + 1
+        self.yes_votes = 0
+        self.votes_seen = 0
+        self.decided = False
+        for participant in self.participants:
+            self.send(participant, EPrepareReq((self.id, self.txn)))
+        self.send(self.timer, EStartTimer(self.txn))
+
+    def on_vote(self):
+        msg = self.payload
+        txn = msg[1]
+        yes = msg[2]
+        if txn != self.txn or self.decided:
+            return
+        self.votes_seen = self.votes_seen + 1
+        if yes:
+            self.yes_votes = self.yes_votes + 1
+        if self.votes_seen == 2:
+            self.decide(self.yes_votes == 2)
+
+    def on_timeout(self):
+        txn = self.payload
+        if txn == self.txn and not self.decided:
+            self.decide(False)  # abort on timeout: always safe
+
+    def decide(self, commit):
+        self.decided = True
+        for participant in self.participants:
+            if commit:
+                self.send(participant, ECommit(self.txn))
+            else:
+                self.send(participant, EAbort(self.txn))
+        self.next_txn()
+
+    def next_txn(self):
+        if self.txn < TRANSACTIONS:
+            self.send(self.id, EStartTxn())
+        else:
+            for participant in self.participants:
+                self.send(participant, Halt())
+            self.send(self.timer, Halt())
+            self.send(self.checker, Halt())
+            self.halt()
+
+
+class BuggyCoordinator(Coordinator):
+    """On timeout, commits if every vote seen so far was YES."""
+
+    def on_timeout(self):
+        txn = self.payload
+        if txn == self.txn and not self.decided:
+            # BUG: should abort; the missing vote may be a NO.
+            self.decide(self.yes_votes == self.votes_seen and self.yes_votes > 0)
+
+
+class RacyCoordinator(Coordinator):
+    """Appends to the log it already shipped with a decision."""
+
+    def send_prepares(self):
+        self.log = []
+        self.txn = self.txn + 1
+        self.yes_votes = 0
+        self.votes_seen = 0
+        self.decided = False
+        for participant in self.participants:
+            self.send(participant, EPrepareReq((self.id, self.txn)))
+        self.send(self.timer, EStartTimer(self.txn))
+
+    def decide(self, commit):
+        self.decided = True
+        self.log.append(self.txn)
+        for participant in self.participants:
+            if commit:
+                self.send(participant, ECommit(self.log))  # seeded race
+            else:
+                self.send(participant, EAbort(self.txn))
+        self.log.append(0)
+        self.next_txn()
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="TwoPhaseCommit",
+        suite="psharpbench",
+        correct=Variant(
+            machines=[Coordinator, Participant, AtomicityChecker, Timer],
+            main=Coordinator,
+        ),
+        racy=Variant(
+            machines=[RacyCoordinator, Participant, AtomicityChecker, Timer],
+            main=RacyCoordinator,
+        ),
+        buggy=Variant(
+            machines=[BuggyCoordinator, Participant, AtomicityChecker, Timer],
+            main=BuggyCoordinator,
+        ),
+        seeded_races=1,
+        notes="premature commit on timeout with partial YES votes",
+    )
+)

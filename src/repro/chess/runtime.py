@@ -1,0 +1,151 @@
+"""The CHESS-style runtime: visible-operation scheduling + optional RD."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from ..core.events import Event, MachineId
+from ..core.machine import Machine
+from ..core.runtime import RuntimeBase
+from ..testing.engine import TestingEngine
+from ..testing.runtime import BugFindingRuntime, _WorkerState
+from ..testing.strategies import SchedulingStrategy
+
+
+class _VectorClock:
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None) -> None:
+        self.clocks: Dict[int, int] = dict(clocks or {})
+
+    def tick(self, mid: int) -> None:
+        self.clocks[mid] = self.clocks.get(mid, 0) + 1
+
+    def join(self, other: "_VectorClock") -> None:
+        for mid, clock in other.clocks.items():
+            if clock > self.clocks.get(mid, 0):
+                self.clocks[mid] = clock
+
+    def copy(self) -> "_VectorClock":
+        return _VectorClock(self.clocks)
+
+    def happens_before(self, other: "_VectorClock") -> bool:
+        return all(c <= other.clocks.get(m, 0) for m, c in self.clocks.items())
+
+
+class ChessRuntime(BugFindingRuntime):
+    """Bug-finding runtime that schedules at memory-access granularity.
+
+    ``race_detection`` toggles the RD-on / RD-off configurations compared
+    in Table 2.
+    """
+
+    def __init__(
+        self,
+        strategy: SchedulingStrategy,
+        race_detection: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(strategy, **kwargs)
+        self.race_detection = race_detection
+        self.races: List[str] = []
+        self._clocks: Dict[int, _VectorClock] = {}
+        self._event_clocks: Dict[int, _VectorClock] = {}
+        # (machine id value, field) -> last write / reads since last write
+        self._writes: Dict[Tuple[int, str], Tuple[int, _VectorClock]] = {}
+        self._reads: Dict[Tuple[int, str], List[Tuple[int, _VectorClock]]] = {}
+
+    # ------------------------------------------------------------------
+    def execute(self, main_cls, payload=None):
+        Machine._field_access_hook = self._on_field_access
+        try:
+            return super().execute(main_cls, payload)
+        finally:
+            Machine._field_access_hook = None
+
+    # ------------------------------------------------------------------
+    # Visible operations: every queue op is a scheduling point
+    # ------------------------------------------------------------------
+    def on_visible_operation(self, machine: Machine, kind: str) -> None:
+        self._schedule_if_running()
+
+    def on_event_dequeued(self, machine: Machine, event: Event) -> None:
+        if self.race_detection:
+            snapshot = self._event_clocks.pop(id(event), None)
+            clock = self._clock(machine.id.value)
+            if snapshot is not None:
+                clock.join(snapshot)
+            clock.tick(machine.id.value)
+        self._schedule_if_running()
+
+    def send(self, target, event, sender=None):
+        if self.race_detection and sender is not None:
+            clock = self._clock(sender.id.value)
+            clock.tick(sender.id.value)
+            self._event_clocks[id(event)] = clock.copy()
+        super().send(target, event, sender=sender)
+
+    def create_machine(self, machine_cls, payload=None, creator=None):
+        mid = super().create_machine(machine_cls, payload, creator=creator)
+        if self.race_detection and creator is not None:
+            clock = self._clock(creator.id.value)
+            clock.tick(creator.id.value)
+            self._clock(mid.value).join(clock)
+        return mid
+
+    # ------------------------------------------------------------------
+    # Field accesses: scheduling point + optional race check
+    # ------------------------------------------------------------------
+    def _on_field_access(self, machine: Machine, name: str, is_write: bool) -> None:
+        if self.race_detection:
+            self._check_access(machine.id.value, name, is_write)
+        self._schedule_if_running()
+
+    def _check_access(self, mid: int, field: str, is_write: bool) -> None:
+        key = (mid, field)  # machine fields: the owner id identifies the object
+        clock = self._clock(mid)
+        last_write = self._writes.get(key)
+        if last_write is not None:
+            writer, write_clock = last_write
+            if writer != mid and not write_clock.happens_before(clock):
+                self.races.append(f"race on field {field!r} of machine {mid}")
+        if is_write:
+            for reader, read_clock in self._reads.get(key, []):
+                if reader != mid and not read_clock.happens_before(clock):
+                    self.races.append(f"race on field {field!r} of machine {mid}")
+            self._writes[key] = (mid, clock.copy())
+            self._reads[key] = []
+        else:
+            self._reads.setdefault(key, []).append((mid, clock.copy()))
+
+    def _clock(self, mid: int) -> _VectorClock:
+        if mid not in self._clocks:
+            self._clocks[mid] = _VectorClock({mid: 0})
+        return self._clocks[mid]
+
+    def _schedule_if_running(self) -> None:
+        current = self._current
+        if current is None or self._canceled or self._finished:
+            return
+        worker = self._workers.get(current)
+        if worker is None or worker.state is not _WorkerState.RUNNING:
+            return
+        self._schedule(current)
+
+
+def chess_engine(
+    main_cls: Type[Machine],
+    payload: Any = None,
+    *,
+    strategy: SchedulingStrategy,
+    race_detection: bool = True,
+    **kwargs: Any,
+) -> TestingEngine:
+    """A :class:`TestingEngine` wired to the CHESS-style runtime."""
+
+    def factory(**runtime_kwargs: Any) -> ChessRuntime:
+        return ChessRuntime(race_detection=race_detection, **runtime_kwargs)
+
+    return TestingEngine(
+        main_cls, payload, strategy=strategy, runtime_factory=factory, **kwargs
+    )

@@ -1,0 +1,17 @@
+"""The P# programming model: machines, states, events and the production runtime."""
+
+from .events import Event, Halt, MachineId
+from .machine import Machine, State, machine_statistics, program_statistics
+from .runtime import Runtime, RuntimeBase
+
+__all__ = [
+    "Event",
+    "Halt",
+    "MachineId",
+    "Machine",
+    "State",
+    "Runtime",
+    "RuntimeBase",
+    "machine_statistics",
+    "program_statistics",
+]

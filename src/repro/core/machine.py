@@ -1,0 +1,419 @@
+"""The ``Machine`` and ``State`` abstractions.
+
+A P# program is composed of state machines that communicate by sending and
+receiving events (Section 1).  Machines are classes inheriting from the
+abstract ``Machine``; their states are *nested classes* inheriting from
+``State`` — the paper notes that P# "enforces states to be nested classes
+of the machine they belong to; this ensures they cannot be accessed
+externally" (Section 3).
+
+A state declares, as class attributes:
+
+``entry``
+    name of the machine method run on entry to the state (the ``OnEntry``
+    of the paper); it receives the payload of the event that caused the
+    transition.
+``exit``
+    name of the machine method run when leaving the state.
+``transitions``
+    mapping from event classes to target state names (the paper's
+    "State Transitions" boxes).
+``actions``
+    mapping from event classes to machine method names (the paper's
+    "Action Bindings"); the machine stays in the same state.
+``deferred`` / ``ignored``
+    event classes that are skipped in the queue / silently dropped.
+``initial``
+    marks the machine's initial state (exactly one per machine).
+
+Actions and entry/exit handlers are arbitrary *sequential* Python methods:
+they must not spawn threads or use synchronization — concurrency is only
+expressed by creating machines and sending events, mirroring the paper's
+restriction that "actions ... must be sequential".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Type
+
+from ..errors import (
+    AssertionFailure,
+    MachineDeclarationError,
+    UnhandledEventError,
+)
+from .events import Event, Halt, MachineId
+
+
+class State:
+    """Base class for machine states.  See module docstring."""
+
+    entry: Optional[str] = None
+    exit: Optional[str] = None
+    transitions: Dict[Type[Event], str] = {}
+    actions: Dict[Type[Event], str] = {}
+    deferred: Tuple[Type[Event], ...] = ()
+    ignored: Tuple[Type[Event], ...] = ()
+    initial: bool = False
+
+
+@dataclass
+class StateInfo:
+    """Preprocessed description of one state of a machine.
+
+    The runtime "preprocesses each registered machine to build a
+    machine-specific map from states to state transitions and action
+    bindings" (Section 6.1); this is that map's entry.
+    """
+
+    name: str
+    entry: Optional[str]
+    exit: Optional[str]
+    transitions: Dict[Type[Event], str]
+    actions: Dict[Type[Event], str]
+    deferred: frozenset
+    ignored: frozenset
+    initial: bool = False
+
+    def handles(self, event_cls: Type[Event]) -> bool:
+        return event_cls in self.transitions or event_cls in self.actions
+
+    def defers(self, event_cls: Type[Event]) -> bool:
+        return event_cls in self.deferred
+
+    def ignores(self, event_cls: Type[Event]) -> bool:
+        return event_cls in self.ignored
+
+
+def _collect_states(cls: type) -> Dict[str, StateInfo]:
+    """Walk the MRO collecting nested ``State`` subclasses.
+
+    Supports inheritance between machines (the ``BaseService`` /
+    ``UserService`` pattern of Figure 1): a subclass inherits all states of
+    its base machine and may override individual states by redeclaring a
+    nested class with the same name.
+    """
+    states: Dict[str, StateInfo] = {}
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            if isinstance(attr, type) and issubclass(attr, State) and attr is not State:
+                info = StateInfo(
+                    name=name,
+                    entry=attr.entry,
+                    exit=attr.exit,
+                    transitions=dict(attr.transitions),
+                    actions=dict(attr.actions),
+                    deferred=frozenset(attr.deferred),
+                    ignored=frozenset(attr.ignored),
+                    initial=bool(attr.initial),
+                )
+                states[name] = info  # later (more derived) declarations win
+    return states
+
+
+def _validate_machine(cls: type, states: Dict[str, StateInfo]) -> str:
+    """Check the paper's well-formedness conditions; return initial state name."""
+    if not states:
+        raise MachineDeclarationError(f"machine {cls.__name__} declares no states")
+
+    initials = [s.name for s in states.values() if s.initial]
+    if len(initials) != 1:
+        raise MachineDeclarationError(
+            f"machine {cls.__name__} must have exactly one initial state, "
+            f"found {initials or 'none'}"
+        )
+
+    for info in states.values():
+        # Paper error class (i): "an event can be handled in more than one
+        # way in the same state".
+        overlap = set(info.transitions) & set(info.actions)
+        if overlap:
+            raise MachineDeclarationError(
+                f"state {info.name} of machine {cls.__name__} handles "
+                f"{sorted(e.__name__ for e in overlap)} both as a transition "
+                "and as an action"
+            )
+        for evt, target in info.transitions.items():
+            if target not in states:
+                raise MachineDeclarationError(
+                    f"state {info.name} of {cls.__name__} transitions to "
+                    f"unknown state {target!r} on {evt.__name__}"
+                )
+        for evt, action in info.actions.items():
+            if not callable(getattr(cls, action, None)):
+                raise MachineDeclarationError(
+                    f"state {info.name} of {cls.__name__} binds {evt.__name__} "
+                    f"to missing action {action!r}"
+                )
+        for handler in (info.entry, info.exit):
+            if handler is not None and not callable(getattr(cls, handler, None)):
+                raise MachineDeclarationError(
+                    f"state {info.name} of {cls.__name__} names missing "
+                    f"method {handler!r}"
+                )
+    return initials[0]
+
+
+class Machine:
+    """Abstract base class of all P# machines.
+
+    Subclasses declare nested ``State`` classes and implement actions as
+    plain methods.  Instances are always created through a runtime
+    (``Runtime.create_machine`` or ``Machine.create_machine`` from inside
+    an action); user code holds only ``MachineId`` handles, never direct
+    references to other machine instances.
+    """
+
+    # Populated by __init_subclass__:
+    _state_infos: Dict[str, StateInfo] = {}
+    _initial_state: str = ""
+
+    # When non-None, every field read/write on any machine goes through
+    # this callback: (machine, field_name, is_write) -> None.  Used by the
+    # CHESS-style baseline to schedule at memory-access granularity.
+    _field_access_hook: Optional[Callable[["Machine", str, bool], None]] = None
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        states = _collect_states(cls)
+        if states:  # allow abstract intermediates with no states yet
+            cls._initial_state = _validate_machine(cls, states)
+        cls._state_infos = states
+
+    def __init__(self, runtime: Any, mid: MachineId) -> None:
+        object.__setattr__(self, "_psharp_internal", True)
+        self._runtime = runtime
+        self._id = mid
+        self._inbox: deque = deque()
+        self._current_state: Optional[StateInfo] = None
+        self._current_event: Optional[Event] = None
+        self._raised: Optional[Event] = None
+        self._halted = False
+        del self._psharp_internal
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def id(self) -> MachineId:
+        return self._id
+
+    @property
+    def payload(self) -> Any:
+        """Payload of the event currently being handled (paper: ``this.Payload``)."""
+        return None if self._current_event is None else self._current_event.payload
+
+    @property
+    def current_state(self) -> Optional[str]:
+        return None if self._current_state is None else self._current_state.name
+
+    @property
+    def is_halted(self) -> bool:
+        return self._halted
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}{self._id.value}"
+
+    # ------------------------------------------------------------------
+    # The P# primitives available inside actions
+    # ------------------------------------------------------------------
+    def send(self, target: MachineId, event: Event) -> None:
+        """Send ``event`` to ``target``.
+
+        In bug-finding mode this is a scheduling point: "the send and
+        create-machine methods call the runtime method Schedule, which
+        blocks the current thread and releases another thread" (Sec. 6.2).
+        """
+        self._runtime.send(target, event, sender=self)
+
+    def create_machine(
+        self, machine_cls: Type["Machine"], payload: Any = None
+    ) -> MachineId:
+        """Create a new machine instance; also a scheduling point."""
+        return self._runtime.create_machine(machine_cls, payload, creator=self)
+
+    def raise_event(self, event: Event) -> None:
+        """Raise an event to be handled by this machine before any queued
+        event; processing happens after the current action returns."""
+        if self._raised is not None:
+            raise AssertionFailure(
+                f"{self} raised {event!r} while {self._raised!r} is pending"
+            )
+        self._raised = event
+
+    def assert_that(self, condition: Any, message: str = "assertion failed") -> None:
+        """P#'s ``assert``: a falsified condition is a bug, reported with a
+        replayable trace in bug-finding mode."""
+        if not condition:
+            raise AssertionFailure(f"{self}: {message}")
+
+    def nondet(self) -> bool:
+        """A controlled nondeterministic boolean choice.
+
+        Under the DFS scheduler both branches are explored systematically;
+        under the random scheduler the choice is random (Section 6.2
+        explains why random machines' choices need not be controlled).
+        """
+        return self._runtime.nondet(self)
+
+    def nondet_int(self, bound: int) -> int:
+        """Controlled nondeterministic integer in ``range(bound)`` (the
+        ``GetNextChoice`` of Figure 1)."""
+        return self._runtime.nondet_int(self, bound)
+
+    def halt(self) -> None:
+        """Halt this machine at the end of the current action."""
+        self.raise_event(Halt())
+
+    def log(self, message: str) -> None:
+        self._runtime.log(f"{self}: {message}")
+
+    # ------------------------------------------------------------------
+    # Event-handling machinery (driven by the runtimes)
+    # ------------------------------------------------------------------
+    def _enqueue(self, event: Event) -> None:
+        if not self._halted:
+            self._inbox.append(event)
+
+    def _deliverable_index(self) -> Optional[int]:
+        """Index of the first queued event the current state is willing to
+        handle, skipping deferred events and dropping ignored ones.
+
+        This implements the paper's transition function ``Tm``, which
+        "finds the first event in E that m is willing to handle in state q"
+        (Section 4).  Returns None when no queued event is deliverable.
+
+        Raises ``UnhandledEventError`` (paper error class (ii)) when the
+        first non-deferred event is neither handled nor ignored.
+        """
+        state = self._current_state
+        assert state is not None
+        i = 0
+        while i < len(self._inbox):
+            event = self._inbox[i]
+            cls = type(event)
+            if cls is Halt:
+                return i
+            if state.ignores(cls):
+                del self._inbox[i]
+                continue
+            if state.defers(cls):
+                i += 1
+                continue
+            if state.handles(cls):
+                return i
+            raise UnhandledEventError(self, state.name, event)
+        return None
+
+    def _has_deliverable(self) -> bool:
+        if self._halted:
+            return False
+        if self._current_state is None:
+            return True  # not started yet: entering the initial state is work
+        if self._raised is not None:
+            return True
+        return self._deliverable_index() is not None
+
+    def _start(self) -> None:
+        """Enter the initial state (runs its entry handler)."""
+        self._transition_to(self._initial_state, self._current_event)
+
+    def _step(self) -> bool:
+        """Handle one event (raised or dequeued).  Returns False when there
+        was nothing to handle or the machine has halted."""
+        if self._halted:
+            return False
+        if self._raised is not None:
+            event, self._raised = self._raised, None
+        else:
+            index = self._deliverable_index()
+            if index is None:
+                return False
+            event = self._inbox[index]
+            del self._inbox[index]
+            self._runtime.on_event_dequeued(self, event)
+        self._handle(event)
+        return True
+
+    def _handle(self, event: Event) -> None:
+        state = self._current_state
+        assert state is not None
+        if isinstance(event, Halt):
+            self._do_halt()
+            return
+        cls = type(event)
+        if cls in state.actions:
+            self._current_event = event
+            getattr(self, state.actions[cls])()
+        elif cls in state.transitions:
+            self._transition_to(state.transitions[cls], event)
+        else:  # pragma: no cover - guarded by _deliverable_index
+            raise UnhandledEventError(self, state.name, event)
+
+    def _transition_to(self, state_name: str, event: Optional[Event]) -> None:
+        old = self._current_state
+        if old is not None and old.exit is not None:
+            getattr(self, old.exit)()
+        new = self._state_infos[state_name]
+        self._current_state = new
+        self._current_event = event
+        if new.entry is not None:
+            getattr(self, new.entry)()
+
+    def _do_halt(self) -> None:
+        self._halted = True
+        self._inbox.clear()
+        self._raised = None
+        self._runtime.on_machine_halted(self)
+
+    # ------------------------------------------------------------------
+    # Optional field-access instrumentation (CHESS baseline, Section 7.2.2)
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        hook = Machine._field_access_hook
+        if (
+            hook is not None
+            and not name.startswith("_")
+            and "_psharp_internal" not in self.__dict__
+        ):
+            hook(self, name, True)
+        object.__setattr__(self, name, value)
+
+    def read(self, name: str) -> Any:
+        """Instrumented field read.  Plain attribute reads are not hooked
+        (hooking ``__getattribute__`` would tax production mode); the CHESS
+        baseline additionally schedules at dequeue/enqueue operations so
+        the visible-operation density is still far above the P# runtime's.
+        """
+        hook = Machine._field_access_hook
+        if hook is not None and not name.startswith("_"):
+            hook(self, name, False)
+        return getattr(self, name)
+
+
+def machine_statistics(machine_cls: Type[Machine]) -> Dict[str, int]:
+    """Static statistics of one machine class, matching Table 1's columns:
+    number of state transitions (#ST) and action bindings (#AB)."""
+    transitions = 0
+    bindings = 0
+    for info in machine_cls._state_infos.values():
+        transitions += len(info.transitions)
+        bindings += len(info.actions)
+    return {
+        "states": len(machine_cls._state_infos),
+        "transitions": transitions,
+        "action_bindings": bindings,
+    }
+
+
+def program_statistics(machine_classes: Iterable[Type[Machine]]) -> Dict[str, int]:
+    """Aggregate Table 1 statistics (#M, #ST, #AB) for a set of machines."""
+    totals = {"machines": 0, "states": 0, "transitions": 0, "action_bindings": 0}
+    for cls in machine_classes:
+        stats = machine_statistics(cls)
+        totals["machines"] += 1
+        totals["states"] += stats["states"]
+        totals["transitions"] += stats["transitions"]
+        totals["action_bindings"] += stats["action_bindings"]
+    return totals

@@ -1,0 +1,211 @@
+"""Runtimes for executing P# programs.
+
+``RuntimeBase``
+    Machine registry, id allocation and error plumbing shared by the
+    production runtime and the bug-finding runtime
+    (:mod:`repro.testing.runtime`).
+
+``Runtime``
+    The production runtime (Section 6.1): each machine's event handler
+    runs on its own thread, "concurrently with the runtime and other
+    handlers", dequeuing from a thread-safe blocking queue.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from ..errors import ActionError, PSharpError
+from .events import Event, MachineId
+from .machine import Machine
+
+
+class RuntimeBase:
+    """State and behaviour shared by all runtimes."""
+
+    def __init__(self) -> None:
+        self._machines: Dict[MachineId, Machine] = {}
+        self._next_id = 0
+        self._error: Optional[BaseException] = None
+        self._log_sink: Optional[Callable[[str], None]] = None
+
+    # -- registry -------------------------------------------------------
+    def _allocate_id(self, machine_cls: Type[Machine]) -> MachineId:
+        mid = MachineId(self._next_id, machine_cls.__name__)
+        self._next_id += 1
+        return mid
+
+    def _instantiate(
+        self, machine_cls: Type[Machine], payload: Any
+    ) -> Machine:
+        mid = self._allocate_id(machine_cls)
+        machine = machine_cls(self, mid)
+        # The payload passed at creation is delivered to the initial
+        # state's entry handler, like BaseService.Init in Figure 1.
+        machine._current_event = Event(payload)
+        self._machines[mid] = machine
+        return machine
+
+    def machine(self, mid: MachineId) -> Machine:
+        return self._machines[mid]
+
+    @property
+    def machines(self) -> List[Machine]:
+        return list(self._machines.values())
+
+    # -- hooks overridden by concrete runtimes ---------------------------
+    def create_machine(
+        self,
+        machine_cls: Type[Machine],
+        payload: Any = None,
+        creator: Optional[Machine] = None,
+    ) -> MachineId:
+        raise NotImplementedError
+
+    def send(
+        self, target: MachineId, event: Event, sender: Optional[Machine] = None
+    ) -> None:
+        raise NotImplementedError
+
+    def nondet(self, machine: Machine) -> bool:
+        raise NotImplementedError
+
+    def nondet_int(self, machine: Machine, bound: int) -> int:
+        raise NotImplementedError
+
+    def on_machine_halted(self, machine: Machine) -> None:
+        pass
+
+    def on_event_dequeued(self, machine: Machine, event: Event) -> None:
+        """Hook invoked when a machine dequeues an event (used by the
+        CHESS baseline to add happens-before edges and visible ops)."""
+
+    def log(self, message: str) -> None:
+        if self._log_sink is not None:
+            self._log_sink(message)
+
+
+class Runtime(RuntimeBase):
+    """Production runtime: one handler thread per machine.
+
+    Nondeterministic choices are honestly random here; in bug-finding mode
+    they are controlled by the scheduling strategy instead.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        self._rng = random.Random(seed)
+        self._idle = 0
+
+    # ------------------------------------------------------------------
+    def run(self, main_cls: Type[Machine], payload: Any = None) -> "Runtime":
+        """Create and start the main machine (the paper's ``Main`` attribute
+        machine); returns self for chaining with :meth:`join`."""
+        self.create_machine(main_cls, payload)
+        return self
+
+    def create_machine(
+        self,
+        machine_cls: Type[Machine],
+        payload: Any = None,
+        creator: Optional[Machine] = None,
+    ) -> MachineId:
+        with self._lock:
+            if self._stopping:
+                raise PSharpError("runtime is stopping")
+            machine = self._instantiate(machine_cls, payload)
+        thread = threading.Thread(
+            target=self._machine_loop, args=(machine,), daemon=True,
+            name=f"psharp-{machine.id}",
+        )
+        self._threads.append(thread)
+        thread.start()
+        return machine.id
+
+    def send(
+        self, target: MachineId, event: Event, sender: Optional[Machine] = None
+    ) -> None:
+        with self._cv:
+            machine = self._machines.get(target)
+            if machine is None or machine.is_halted:
+                return  # events to halted machines are dropped
+            machine._enqueue(event)
+            self._cv.notify_all()
+
+    def nondet(self, machine: Machine) -> bool:
+        return bool(self._rng.getrandbits(1))
+
+    def nondet_int(self, machine: Machine, bound: int) -> int:
+        return self._rng.randrange(bound)
+
+    # ------------------------------------------------------------------
+    def _machine_loop(self, machine: Machine) -> None:
+        try:
+            machine._start()
+            while not self._stopping and not machine.is_halted:
+                stepped = machine._step()
+                if stepped:
+                    continue
+                with self._cv:
+                    self._idle += 1
+                    self._cv.notify_all()
+                    try:
+                        self._cv.wait_for(
+                            lambda: self._stopping
+                            or machine.is_halted
+                            or machine._has_deliverable(),
+                            timeout=0.5,
+                        )
+                    finally:
+                        self._idle -= 1
+        except PSharpError as exc:
+            self._report_error(exc)
+        except Exception as exc:  # noqa: BLE001 - error class (iii)
+            self._report_error(
+                ActionError(machine, machine.current_state or "?", exc)
+            )
+
+    def _report_error(self, exc: BaseException) -> None:
+        with self._cv:
+            if self._error is None:
+                self._error = exc
+            self._stopping = True
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    def wait_quiescence(self, timeout: float = 10.0) -> bool:
+        """Block until no machine has a deliverable event (best effort)."""
+        deadline = threading.Event()
+
+        def quiescent() -> bool:
+            return self._error is not None or all(
+                m.is_halted or not m._has_deliverable()
+                for m in self._machines.values()
+            ) and self._idle >= sum(
+                1 for m in self._machines.values() if not m.is_halted
+            )
+
+        with self._cv:
+            result = self._cv.wait_for(quiescent, timeout=timeout)
+        del deadline
+        return bool(result)
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def join(self, timeout: float = 10.0) -> None:
+        """Wait for quiescence, stop, and re-raise any detected error."""
+        self.wait_quiescence(timeout)
+        self.stop()
+        if self._error is not None:
+            raise self._error

@@ -1,0 +1,141 @@
+"""Error and bug-report types shared across the runtime, testing and analysis layers.
+
+The P# paper distinguishes three classes of runtime errors (Section 6.1):
+
+(i)   an event can be handled in more than one way in the same state,
+(ii)  an event cannot be handled in a state, and
+(iii) an uncaught exception is thrown while an event handler executes.
+
+In bug-finding mode (Section 6.2) these, together with assertion failures
+and liveness (depth-bound) violations, are reported as bugs with a replayable
+schedule trace attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class PSharpError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MachineDeclarationError(PSharpError):
+    """A machine class is malformed.
+
+    Raised at class-definition time, e.g. when a state declares two handlers
+    for the same event (paper error class (i)), when an action binding names
+    a method that does not exist, or when a machine has no initial state.
+    """
+
+
+class UnhandledEventError(PSharpError):
+    """An event reached a machine state that neither handles, defers nor
+    ignores it (paper error class (ii))."""
+
+    def __init__(self, machine: Any, state: str, event: Any) -> None:
+        self.machine = machine
+        self.state = state
+        self.event = event
+        super().__init__(
+            f"machine {machine} in state {state!r} cannot handle event "
+            f"{type(event).__name__}"
+        )
+
+
+class AssertionFailure(PSharpError):
+    """A ``Machine.assert_that`` condition evaluated to false."""
+
+
+class ActionError(PSharpError):
+    """An uncaught exception escaped a user action (paper error class (iii))."""
+
+    def __init__(self, machine: Any, action: str, cause: BaseException) -> None:
+        self.machine = machine
+        self.action = action
+        self.cause = cause
+        super().__init__(
+            f"uncaught exception in action {action!r} of machine {machine}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class LivenessError(PSharpError):
+    """The depth bound was exceeded; reported as a potential livelock.
+
+    Section 7.2.2 describes detecting the German-benchmark livelock by
+    imposing a depth bound on schedules.
+    """
+
+
+class ExecutionCanceled(BaseException):
+    """Internal control-flow exception used by the bug-finding runtime to
+    unwind cooperative worker threads when an execution ends.
+
+    Derives from ``BaseException`` so that user code catching ``Exception``
+    cannot swallow it.
+    """
+
+
+@dataclass
+class BugReport:
+    """A bug found during testing, with enough information to replay it."""
+
+    kind: str
+    message: str
+    machine: Optional[Any] = None
+    trace: Optional[Any] = None
+    exception: Optional[BaseException] = None
+    iteration: int = -1
+    step: int = -1
+
+    def __str__(self) -> str:
+        where = f" in {self.machine}" if self.machine is not None else ""
+        return f"[{self.kind}]{where}: {self.message}"
+
+
+@dataclass
+class AnalysisDiagnostic:
+    """A diagnostic produced by the static data race analysis."""
+
+    kind: str  # "ownership-violation" | "info"
+    machine: str
+    method: str
+    node: Any
+    variable: str
+    condition: int  # which of the three Section 5.3 conditions failed (1..3)
+    message: str
+    suppressed_by: Optional[str] = None  # "xsa" | "readonly" | None
+
+    def __str__(self) -> str:
+        sup = f" (suppressed by {self.suppressed_by})" if self.suppressed_by else ""
+        return (
+            f"{self.machine}.{self.method}: condition {self.condition} violated "
+            f"for {self.variable!r} at {self.node}: {self.message}{sup}"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregate result of analysing one program."""
+
+    program: str
+    diagnostics: list = field(default_factory=list)
+    xsa_enabled: bool = False
+    readonly_enabled: bool = False
+    seconds: float = 0.0
+
+    @property
+    def violations(self) -> list:
+        return [d for d in self.diagnostics if d.suppressed_by is None]
+
+    @property
+    def verified(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "verified race-free" if self.verified else (
+            f"{len(self.violations)} potential race(s)"
+        )
+        return f"analysis of {self.program}: {status} in {self.seconds:.3f}s"

@@ -1,0 +1,144 @@
+"""Control flow graphs over the core-language IR.
+
+"We represent each method as a single-entry, single-exit control flow
+graph (CFG), where each CFG node consists of a single statement.  The
+entry and exit nodes are denoted Entry and Exit.  Employing CFGs allows us
+to treat conditionals, loops and sequences of statements in a uniform
+manner" (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from .ir import If, MethodDecl, Return, Stmt, While
+
+
+@dataclass
+class Node:
+    """A CFG node holding at most one statement (None for Entry/Exit)."""
+
+    index: int
+    stmt: Optional[Stmt] = None
+    label: str = ""
+    succs: List["Node"] = field(default_factory=list)
+    preds: List["Node"] = field(default_factory=list)
+
+    @property
+    def is_entry(self) -> bool:
+        return self.label == "Entry"
+
+    @property
+    def is_exit(self) -> bool:
+        return self.label == "Exit"
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.index == self.index
+
+    def __repr__(self) -> str:
+        if self.stmt is None:
+            return f"<{self.label}>"
+        where = f" @{self.stmt.loc}" if self.stmt.loc else ""
+        return f"<n{self.index}: {self.stmt}{where}>"
+
+
+class Cfg:
+    """Single-entry single-exit CFG of one method."""
+
+    def __init__(self, method: MethodDecl) -> None:
+        self.method = method
+        self.nodes: List[Node] = []
+        self.entry = self._node(label="Entry")
+        self.exit = self._node(label="Exit")
+        tails = self._build(method.body, [self.entry])
+        for tail in tails:
+            self._edge(tail, self.exit)
+
+    # -- construction ----------------------------------------------------
+    def _node(self, stmt: Optional[Stmt] = None, label: str = "") -> Node:
+        node = Node(index=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: Node, dst: Node) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def _build(self, body: List[Stmt], tails: List[Node]) -> List[Node]:
+        """Append ``body`` after every node in ``tails``; return new tails."""
+        for stmt in body:
+            if not tails:
+                break  # unreachable code after return
+            if isinstance(stmt, If):
+                cond = self._node(stmt)
+                for tail in tails:
+                    self._edge(tail, cond)
+                # _build returns [cond] unchanged for an empty branch, which
+                # models the fall-through edge.
+                then_tails = self._build(stmt.then_body, [cond])
+                else_tails = self._build(stmt.else_body, [cond])
+                tails = list(dict.fromkeys(then_tails + else_tails))
+            elif isinstance(stmt, While):
+                cond = self._node(stmt)
+                for tail in tails:
+                    self._edge(tail, cond)
+                body_tails = self._build(stmt.body, [cond])
+                for tail in body_tails:
+                    self._edge(tail, cond)  # back edge
+                tails = [cond]
+            elif isinstance(stmt, Return):
+                node = self._node(stmt)
+                for tail in tails:
+                    self._edge(tail, node)
+                self._edge(node, self.exit)
+                tails = []
+            else:
+                node = self._node(stmt)
+                for tail in tails:
+                    self._edge(tail, node)
+                tails = [node]
+        return tails
+
+    # -- queries ---------------------------------------------------------
+    def statement_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def reachable_from(self, start: Node, *, skip_start: bool = True) -> Set[Node]:
+        """Nodes reachable from ``start`` by following successor edges."""
+        seen: Set[Node] = set()
+        stack = list(start.succs) if skip_start else [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(node.succs)
+        return seen
+
+    def reaching(self, target: Node, *, skip_target: bool = True) -> Set[Node]:
+        """Nodes from which ``target`` is reachable (backwards closure)."""
+        seen: Set[Node] = set()
+        stack = list(target.preds) if skip_target else [target]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(node.preds)
+        return seen
+
+    def __str__(self) -> str:
+        lines = [f"cfg of {self.method.name}:"]
+        for node in self.nodes:
+            succs = ", ".join(f"n{s.index}" for s in node.succs)
+            lines.append(f"  {node!r} -> [{succs}]")
+        return "\n".join(lines)
+
+
+def build_cfgs(methods: Iterable[MethodDecl]) -> Dict[str, Cfg]:
+    return {m.name: Cfg(m) for m in methods}

@@ -1,0 +1,452 @@
+"""A recursive-descent parser for the core language's surface syntax.
+
+The concrete syntax follows the paper's examples (4.1, 4.2) closely::
+
+    class elem {
+        int val;
+        elem next;
+        int get_val() { int ret; ret := this.val; return ret; }
+        void set_next(elem n) { this.next := n; }
+    }
+
+    machine list_manager {
+        elem list;
+        void init() { this.list := null; }
+        void add(elem payload) {
+            elem tmp;
+            tmp := this.list;
+            payload.set_next(tmp);
+            this.list := payload;
+        }
+        void get(machine payload) {
+            elem tmp;
+            tmp := this.list;
+            send payload eReply(tmp);
+        }
+        transitions {
+            init: eAdd -> add, eGet -> get;
+            add:  eAdd -> add, eGet -> get;
+            get:  eAdd -> add, eGet -> get;
+        }
+    }
+
+Machines declare their member variables and methods directly (the machine
+*is* its class, as in Section 4 where ``class_m`` defines the methods).
+The ``transitions`` block is the transition function ``T_m``: in state
+``q``, event ``e`` is handled by method/state ``q'`` (the paper's states
+*are* methods).  The first method of a machine is its initial state unless
+a method named ``init`` exists.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ir import (
+    Assert,
+    Assign,
+    Call,
+    Const,
+    CreateMachine,
+    External,
+    If,
+    LoadField,
+    MethodDecl,
+    New,
+    Nondet,
+    Op,
+    Program,
+    Return,
+    Send,
+    StateHandler,
+    Stmt,
+    StoreField,
+    MachineDecl,
+    ClassDecl,
+    VarDecl,
+    While,
+)
+
+
+class ParseError(Exception):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>-?\d+(\.\d+)?)
+  | (?P<assign>:=)
+  | (?P<arrow>->)
+  | (?P<op><=|>=|==|!=|&&|\|\||[+\-*/%<>!])
+  | (?P<punct>[{}();,.:])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "class", "machine", "transitions", "if", "else", "while", "return",
+    "send", "new", "null", "true", "false", "assert", "nondet", "create",
+    "external", "this",
+}
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        line = 1
+        self.lines: List[int] = []
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise ParseError(f"line {line}: unexpected character {text[pos]!r}")
+            kind = match.lastgroup
+            value = match.group()
+            line += value.count("\n")
+            if kind != "ws":
+                self.tokens.append((kind, value))
+                self.lines.append(line)
+            pos = match.end()
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            raise ParseError("unexpected end of input")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, got = self.next()
+        if got != value:
+            raise ParseError(
+                f"line {self.line()}: expected {value!r}, got {got!r}"
+            )
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.pos += 1
+            return True
+        return False
+
+    def ident(self) -> str:
+        kind, value = self.next()
+        if kind != "ident":
+            raise ParseError(f"line {self.line()}: expected identifier, got {value!r}")
+        return value
+
+    def line(self) -> int:
+        index = min(self.pos, len(self.lines) - 1)
+        return self.lines[index] if self.lines else 0
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse a whole program: a sequence of class and machine declarations."""
+    tokens = _Tokens(text)
+    program = Program(name=name)
+    while tokens.peek() is not None:
+        kind, value = tokens.peek()
+        if value == "class":
+            klass = _parse_class(tokens)
+            program.classes[klass.name] = klass
+        elif value == "machine":
+            machine, klass = _parse_machine(tokens)
+            program.machines[machine.name] = machine
+            program.classes[klass.name] = klass
+        else:
+            raise ParseError(
+                f"line {tokens.line()}: expected 'class' or 'machine', got {value!r}"
+            )
+    return program
+
+
+def _parse_class(tokens: _Tokens) -> ClassDecl:
+    tokens.expect("class")
+    name = tokens.ident()
+    fields, methods = _parse_members(tokens, allow_transitions=False)[:2]
+    return ClassDecl(name=name, fields=fields, methods={m.name: m for m in methods})
+
+
+def _parse_machine(tokens: _Tokens) -> Tuple[MachineDecl, ClassDecl]:
+    tokens.expect("machine")
+    name = tokens.ident()
+    fields, methods, handlers = _parse_members(tokens, allow_transitions=True)
+    klass = ClassDecl(name=name, fields=fields, methods={m.name: m for m in methods})
+    if not methods:
+        raise ParseError(f"machine {name} has no methods")
+    initial = "init" if "init" in klass.methods else methods[0].name
+    machine = MachineDecl(
+        name=name, class_name=name, initial=initial, handlers=handlers
+    )
+    return machine, klass
+
+
+def _parse_members(tokens: _Tokens, allow_transitions: bool):
+    tokens.expect("{")
+    fields: List[VarDecl] = []
+    methods: List[MethodDecl] = []
+    handlers: List[StateHandler] = []
+    while not tokens.accept("}"):
+        token = tokens.peek()
+        if allow_transitions and token is not None and token[1] == "transitions":
+            tokens.next()
+            handlers.extend(_parse_transitions(tokens))
+            continue
+        type_name = tokens.ident()
+        member_name = tokens.ident()
+        follow = tokens.peek()
+        if follow is not None and follow[1] == "(":
+            methods.append(_parse_method(tokens, type_name, member_name))
+        else:
+            tokens.expect(";")
+            fields.append(VarDecl(member_name, type_name))
+    return fields, methods, handlers
+
+
+def _parse_transitions(tokens: _Tokens) -> List[StateHandler]:
+    """``transitions { state: evt -> next, evt -> next; ... }``"""
+    tokens.expect("{")
+    handlers: List[StateHandler] = []
+    while not tokens.accept("}"):
+        state = tokens.ident()
+        tokens.expect(":")
+        while True:
+            event = tokens.ident()
+            tokens.expect("->")
+            next_state = tokens.ident()
+            # In the core calculus a state *is* the method that handles the
+            # transition into it (RECEIVE invokes v_m.q'(val)).
+            handlers.append(StateHandler(state, event, next_state, next_state))
+            if not tokens.accept(","):
+                break
+        tokens.expect(";")
+    return handlers
+
+
+def _parse_method(tokens: _Tokens, ret_type: str, name: str) -> MethodDecl:
+    tokens.expect("(")
+    params: List[VarDecl] = []
+    if not tokens.accept(")"):
+        while True:
+            param_type = tokens.ident()
+            param_name = tokens.ident()
+            params.append(VarDecl(param_name, param_type))
+            if not tokens.accept(","):
+                break
+        tokens.expect(")")
+    tokens.expect("{")
+    locals_: List[VarDecl] = []
+    # Local declarations: `type v;` lines at the start of the body.
+    while True:
+        first = tokens.peek()
+        second = tokens.peek(1)
+        third = tokens.peek(2)
+        if (
+            first is not None
+            and first[0] == "ident"
+            and (first[1] == "machine" or first[1] not in KEYWORDS)
+            and second is not None
+            and second[0] == "ident"
+            and second[1] not in KEYWORDS
+            and third is not None
+            and third[1] == ";"
+        ):
+            type_name = tokens.ident()
+            var_name = tokens.ident()
+            tokens.expect(";")
+            locals_.append(VarDecl(var_name, type_name))
+        else:
+            break
+    body = _parse_block_tail(tokens)
+    return MethodDecl(
+        name=name, params=params, locals=locals_, body=body, ret_type=ret_type
+    )
+
+
+def _parse_block(tokens: _Tokens) -> List[Stmt]:
+    tokens.expect("{")
+    return _parse_block_tail(tokens)
+
+
+def _parse_block_tail(tokens: _Tokens) -> List[Stmt]:
+    body: List[Stmt] = []
+    while not tokens.accept("}"):
+        body.append(_parse_stmt(tokens))
+    return body
+
+
+def _parse_stmt(tokens: _Tokens) -> Stmt:
+    line = tokens.line()
+    loc = f"line {line}"
+    kind, value = tokens.peek()
+
+    if value == "if":
+        tokens.next()
+        tokens.expect("(")
+        cond = tokens.ident()
+        tokens.expect(")")
+        then_body = _parse_block(tokens)
+        else_body: List[Stmt] = []
+        if tokens.accept("else"):
+            else_body = _parse_block(tokens)
+        return If(cond, then_body, else_body, loc=loc)
+
+    if value == "while":
+        tokens.next()
+        tokens.expect("(")
+        cond = tokens.ident()
+        tokens.expect(")")
+        body = _parse_block(tokens)
+        return While(cond, body, loc=loc)
+
+    if value == "return":
+        tokens.next()
+        var = None
+        if not tokens.accept(";"):
+            var = tokens.ident()
+            tokens.expect(";")
+        return Return(var, loc=loc)
+
+    if value == "send":
+        tokens.next()
+        dst = tokens.ident()
+        event = tokens.ident()
+        tokens.expect("(")
+        arg = None
+        if not tokens.accept(")"):
+            arg = _operand(tokens)
+            tokens.expect(")")
+        tokens.expect(";")
+        return Send(dst, event, arg, loc=loc)
+
+    if value == "assert":
+        tokens.next()
+        var = tokens.ident()
+        tokens.expect(";")
+        return Assert(var, loc=loc)
+
+    if value == "this":
+        # this.f := v;  (v may also be a literal: null, true, false, 0, ...)
+        tokens.next()
+        tokens.expect(".")
+        field = tokens.ident()
+        tokens.expect(":=")
+        src = _operand(tokens)
+        tokens.expect(";")
+        return StoreField(field, src, loc=loc)
+
+    # Otherwise: assignment `v := ...;` or a void call `v.m(...);`
+    first = tokens.ident()
+    if tokens.accept("."):
+        method = tokens.ident()
+        args = _parse_args(tokens)
+        tokens.expect(";")
+        return Call(None, first, method, args, loc=loc)
+
+    tokens.expect(":=")
+    return _parse_assignment_rhs(tokens, first, loc)
+
+
+def _parse_assignment_rhs(tokens: _Tokens, dst: str, loc: str) -> Stmt:
+    kind, value = tokens.peek()
+
+    if value == "new":
+        tokens.next()
+        cls = tokens.ident()
+        tokens.expect(";")
+        return New(dst, cls, loc=loc)
+
+    if value == "null":
+        tokens.next()
+        tokens.expect(";")
+        return Const(dst, None, loc=loc)
+
+    if value in ("true", "false"):
+        tokens.next()
+        tokens.expect(";")
+        return Const(dst, value == "true", loc=loc)
+
+    if value == "nondet":
+        tokens.next()
+        tokens.expect(";")
+        return Nondet(dst, loc=loc)
+
+    if value == "external":
+        tokens.next()
+        tokens.expect(";")
+        return External(dst, loc=loc)
+
+    if value == "create":
+        tokens.next()
+        machine = tokens.ident()
+        tokens.expect("(")
+        arg = None
+        if not tokens.accept(")"):
+            arg = _operand(tokens)
+            tokens.expect(")")
+        tokens.expect(";")
+        return CreateMachine(dst, machine, arg, loc=loc)
+
+    if kind == "num":
+        tokens.next()
+        tokens.expect(";")
+        number = float(value) if "." in value else int(value)
+        return Const(dst, number, loc=loc)
+
+    if value == "this":
+        tokens.next()
+        tokens.expect(".")
+        field = tokens.ident()
+        tokens.expect(";")
+        return LoadField(dst, field, loc=loc)
+
+    # v := v' | v := v' op v'' | v := v'.m(args)
+    src = tokens.ident()
+    if tokens.accept("."):
+        method = tokens.ident()
+        args = _parse_args(tokens)
+        tokens.expect(";")
+        return Call(dst, src, method, args, loc=loc)
+
+    follow = tokens.peek()
+    if follow is not None and follow[0] == "op":
+        op = tokens.next()[1]
+        right = _operand(tokens)
+        tokens.expect(";")
+        return Op(dst, src, op, right, loc=loc)
+
+    tokens.expect(";")
+    return Assign(dst, src, loc=loc)
+
+
+def _operand(tokens: _Tokens) -> str:
+    """An identifier or a literal (number, true/false/null), as a string.
+
+    The interpreter resolves literal strings at evaluation time; the
+    static analysis only tracks reference-typed variables, so literals are
+    inert there.
+    """
+    kind, value = tokens.next()
+    if kind in ("ident", "num"):
+        return value
+    raise ParseError(f"line {tokens.line()}: expected operand, got {value!r}")
+
+
+def _parse_args(tokens: _Tokens) -> List[str]:
+    tokens.expect("(")
+    args: List[str] = []
+    if not tokens.accept(")"):
+        while True:
+            args.append(_operand(tokens))
+            if not tokens.accept(","):
+                break
+        tokens.expect(")")
+    return args

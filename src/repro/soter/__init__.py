@@ -1,0 +1,29 @@
+"""A SOTER-style ownership-transfer inference baseline (Sections 5.5, 7.2.1).
+
+SOTER [20] "builds upon a field-sensitive points-to analysis.  This
+analysis is non-modular and does not leverage an understanding of the
+underlying (actor) framework.  As a consequence, SOTER needs to sacrifice
+precision to achieve scalability.  Our analysis achieves scalability
+without sacrificing precision exactly by leveraging the semantics of the
+P# framework."
+
+This baseline reproduces that structural weakness on the same IR:
+
+* a whole-program, *flow-insensitive*, context-insensitive Andersen-style
+  points-to analysis (one abstract region per allocation site / symbolic
+  parameter, merged across all call sites);
+* an ownership check that flags a send when any region reachable from the
+  payload is also reachable from the sending machine's state or from any
+  variable of its other handlers — with no notion of where in the state
+  machine the access happens.
+
+Flow-insensitivity makes the idioms our analysis verifies invisible: a
+field reset after a send (Example 5.5), a fresh payload per loop
+iteration, or stage-then-send across states all remain flagged — the
+source of SOTER's false positives on its own benchmarks (e.g. 70 on
+Swordfish, Section 7.2.1).
+"""
+
+from .analysis import SoterAnalysis, SoterViolation, soter_analyze
+
+__all__ = ["SoterAnalysis", "SoterViolation", "soter_analyze"]

@@ -1,0 +1,227 @@
+"""Flow-insensitive whole-program points-to + ownership-transfer check."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang.ir import (
+    Assign,
+    Call,
+    ClassDecl,
+    CreateMachine,
+    External,
+    LoadField,
+    MethodDecl,
+    New,
+    Program,
+    Return,
+    Send,
+    Stmt,
+    StoreField,
+    flatten,
+    is_scalar,
+)
+
+Region = Tuple[str, ...]  # ("alloc", method, idx) | ("this", cls) | ("param", m, p) | ("ext",)
+Var = Tuple[str, str, str]  # (class, method, var)
+
+
+@dataclass
+class SoterViolation:
+    machine: str
+    method: str
+    send_loc: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.machine}.{self.method} @{self.send_loc}: {self.reason}"
+
+
+class SoterAnalysis:
+    """Andersen-style constraint solver over the whole program.
+
+    Deliberately framework-blind: sends are just calls that copy a value
+    out; the state-machine structure (which handler runs in which state,
+    payload freshness per receive) is *not* modelled — the defining
+    difference from :mod:`repro.analysis` (Section 5.5).
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.pts: Dict[Var, Set[Region]] = {}
+        self.heap: Dict[Region, Set[Region]] = {}
+        self._send_sites: List[Tuple[str, str, Stmt]] = []  # (cls, method, stmt)
+        self._copies: List[Tuple[Var, Var]] = []  # dst ⊇ src
+        self._loads: List[Tuple[Var, Var]] = []  # dst ⊇ H(reach(src))
+        self._stores: List[Tuple[Var, Var]] = []  # H(pts(dst)) ⊇ pts(src)
+        self._build_constraints()
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _var(self, cls: str, method: str, name: str) -> Var:
+        return (cls, method, name)
+
+    def _build_constraints(self) -> None:
+        for cls in self.program.classes.values():
+            if cls.taint_summary is not None:
+                continue
+            for method in cls.methods.values():
+                self._method_constraints(cls, method)
+
+    def _method_constraints(self, cls: ClassDecl, method: MethodDecl) -> None:
+        this = self._var(cls.name, method.name, "this")
+        self.pts.setdefault(this, set()).add(("this", cls.name))
+        for param in method.params:
+            if param.is_reference and param.type != "machine":
+                var = self._var(cls.name, method.name, param.name)
+                self.pts.setdefault(var, set()).add(
+                    ("param", f"{cls.name}.{method.name}", param.name)
+                )
+        alloc_index = 0
+        for stmt in flatten(method.body):
+            mk = lambda v: self._var(cls.name, method.name, v)
+            if isinstance(stmt, Assign):
+                self._copies.append((mk(stmt.dst), mk(stmt.src)))
+            elif isinstance(stmt, New):
+                alloc_index += 1
+                self.pts.setdefault(mk(stmt.dst), set()).add(
+                    ("alloc", f"{cls.name}.{method.name}", str(alloc_index))
+                )
+            elif isinstance(stmt, External):
+                self.pts.setdefault(mk(stmt.dst), set()).add(("ext",))
+            elif isinstance(stmt, LoadField):
+                self._loads.append((mk(stmt.dst), mk("this")))
+            elif isinstance(stmt, StoreField):
+                self._stores.append((mk("this"), mk(stmt.src)))
+            elif isinstance(stmt, Call):
+                self._call_constraints(cls, method, stmt, mk)
+            elif isinstance(stmt, Send):
+                if stmt.arg is not None:
+                    self._send_sites.append((cls.name, method.name, stmt))
+            elif isinstance(stmt, CreateMachine):
+                if stmt.arg is not None:
+                    self._send_sites.append((cls.name, method.name, stmt))
+
+    def _call_constraints(self, cls, method, stmt: Call, mk) -> None:
+        # Context-insensitive linkage: all call sites of a method merge.
+        recv_type = method.var_type(stmt.recv) or (
+            cls.name if stmt.recv == "this" else None
+        )
+        callee_cls = self.program.classes.get(recv_type) if recv_type else None
+        if callee_cls is None or callee_cls.taint_summary is not None:
+            # Container / unknown call: model as stores into the receiver
+            # plus a load for the result — coarse, like SOTER's treatment
+            # of framework code.
+            for arg in stmt.args:
+                self._stores.append((mk(stmt.recv), mk(arg)))
+            if stmt.dst is not None:
+                self._loads.append((mk(stmt.dst), mk(stmt.recv)))
+            return
+        callee = callee_cls.methods.get(stmt.method)
+        if callee is None:
+            for arg in stmt.args:
+                self._stores.append((mk(stmt.recv), mk(arg)))
+            if stmt.dst is not None:
+                self._loads.append((mk(stmt.dst), mk(stmt.recv)))
+            return
+        callee_this = self._var(callee_cls.name, callee.name, "this")
+        self._copies.append((callee_this, mk(stmt.recv)))
+        for index, param in enumerate(callee.params):
+            if index < len(stmt.args):
+                callee_param = self._var(callee_cls.name, callee.name, param.name)
+                self._copies.append((callee_param, mk(stmt.args[index])))
+        if stmt.dst is not None:
+            for ret_stmt in flatten(callee.body):
+                if isinstance(ret_stmt, Return) and ret_stmt.var is not None:
+                    ret_var = self._var(callee_cls.name, callee.name, ret_stmt.var)
+                    self._copies.append((mk(stmt.dst), ret_var))
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for dst, src in self._copies:
+                src_set = self.pts.get(src, set())
+                dst_set = self.pts.setdefault(dst, set())
+                if not src_set <= dst_set:
+                    dst_set |= src_set
+                    changed = True
+            for this_var, src in self._stores:
+                src_set = self.pts.get(src, set())
+                for region in self.pts.get(this_var, set()):
+                    bucket = self.heap.setdefault(region, set())
+                    if not src_set <= bucket:
+                        bucket |= src_set
+                        changed = True
+            for dst, src in self._loads:
+                reach = self.reach(self.pts.get(src, set()))
+                dst_set = self.pts.setdefault(dst, set())
+                if not reach <= dst_set:
+                    dst_set |= reach
+                    changed = True
+
+    def reach(self, regions: Set[Region]) -> Set[Region]:
+        seen: Set[Region] = set()
+        stack = list(regions)
+        while stack:
+            region = stack.pop()
+            if region in seen:
+                continue
+            seen.add(region)
+            stack.extend(self.heap.get(region, ()))
+        return seen
+
+    # ------------------------------------------------------------------
+    def check(self) -> List[SoterViolation]:
+        """Flag each payload whose region stays accessible to its sender."""
+        violations: List[SoterViolation] = []
+        machine_classes = {
+            m.class_name: name for name, m in self.program.machines.items()
+        }
+        for cls_name, method_name, stmt in self._send_sites:
+            machine = machine_classes.get(cls_name, cls_name)
+            arg = stmt.arg  # type: ignore[union-attr]
+            arg_var = self._var(cls_name, method_name, arg)
+            transferred = self.reach(self.pts.get(arg_var, set()))
+            if not transferred:
+                continue
+            retained = self.reach({("this", cls_name)})
+            overlap = transferred & retained
+            if overlap:
+                violations.append(
+                    SoterViolation(
+                        machine,
+                        method_name,
+                        stmt.loc,
+                        f"payload region(s) {sorted(overlap)[:2]} remain "
+                        "reachable from the sender's state",
+                    )
+                )
+                continue
+            # Accessible from any *other* handler's variables (no flow or
+            # state sensitivity: any co-resident reference counts).
+            for var, regions in self.pts.items():
+                var_cls, var_method, var_name = var
+                if var_cls != cls_name or var_method == method_name:
+                    continue
+                if var_name == "this":
+                    continue
+                if transferred & self.reach(regions):
+                    violations.append(
+                        SoterViolation(
+                            machine,
+                            method_name,
+                            stmt.loc,
+                            f"payload aliased by {var_method}.{var_name} "
+                            "elsewhere in the machine",
+                        )
+                    )
+                    break
+        return violations
+
+
+def soter_analyze(program: Program) -> List[SoterViolation]:
+    """Run the SOTER-style baseline and return its reported violations."""
+    return SoterAnalysis(program).check()

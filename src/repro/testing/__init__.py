@@ -1,0 +1,28 @@
+"""Systematic concurrency testing for P# programs (Section 6.2)."""
+
+from .engine import TestingEngine, TestReport, replay
+from .runtime import BugFindingRuntime, ExecutionResult
+from .strategies import (
+    DelayBoundingStrategy,
+    DfsStrategy,
+    PctStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    SchedulingStrategy,
+)
+from .trace import ScheduleTrace
+
+__all__ = [
+    "TestingEngine",
+    "TestReport",
+    "replay",
+    "BugFindingRuntime",
+    "ExecutionResult",
+    "SchedulingStrategy",
+    "DfsStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "PctStrategy",
+    "DelayBoundingStrategy",
+    "ScheduleTrace",
+]

@@ -1,0 +1,166 @@
+"""The testing engine: repeated controlled executions + statistics.
+
+Drives a :class:`BugFindingRuntime` for many iterations and aggregates the
+metrics Table 2 reports: number of threads (#T), scheduling points (#SP),
+schedules per second (#Sch/sec), whether a bug was found, and — for the
+random scheduler, which keeps exploring after a bug — the percentage of
+buggy schedules (%Buggy).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Type
+
+from ..core.machine import Machine
+from ..errors import BugReport
+from .runtime import BugFindingRuntime, ExecutionResult
+from .strategies import ReplayStrategy, SchedulingStrategy
+from .trace import ScheduleTrace
+
+
+@dataclass
+class TestReport:
+    """Aggregate statistics over all explored schedules."""
+
+    strategy: str
+    iterations: int = 0
+    buggy_iterations: int = 0
+    depth_bound_hits: int = 0
+    total_steps: int = 0
+    total_scheduling_points: int = 0
+    max_machines: int = 0
+    elapsed: float = 0.0
+    first_bug: Optional[BugReport] = None
+    first_bug_iteration: int = -1
+    bugs: List[BugReport] = field(default_factory=list)
+    exhausted: bool = False
+
+    @property
+    def bug_found(self) -> bool:
+        return self.buggy_iterations > 0
+
+    @property
+    def schedules_per_second(self) -> float:
+        return self.iterations / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def mean_scheduling_points(self) -> float:
+        return (
+            self.total_scheduling_points / self.iterations if self.iterations else 0.0
+        )
+
+    @property
+    def percent_buggy(self) -> float:
+        return 100.0 * self.buggy_iterations / self.iterations if self.iterations else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.iterations} schedules in {self.elapsed:.2f}s "
+            f"({self.schedules_per_second:.1f}/s), #SP={self.mean_scheduling_points:.0f}, "
+            f"buggy={self.buggy_iterations} ({self.percent_buggy:.0f}%)"
+            + (f", first bug: {self.first_bug}" if self.first_bug else "")
+        )
+
+
+class TestingEngine:
+    """Repeatedly executes a program under a scheduling strategy.
+
+    (``__test__`` keeps pytest from collecting this as a test class.)
+
+    Mirrors the paper's experimental setup: "at most 10,000 executions
+    within a 5 minute time limit" (Table 2), stopping at the first bug for
+    systematic strategies, or continuing to estimate bug density for the
+    random scheduler.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        main_cls: Type[Machine],
+        payload: Any = None,
+        *,
+        strategy: SchedulingStrategy,
+        max_iterations: int = 10_000,
+        time_limit: float = 300.0,
+        max_steps: int = 20_000,
+        stop_on_first_bug: bool = True,
+        livelock_as_bug: bool = False,
+        record_traces: bool = True,
+        runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
+    ) -> None:
+        self.main_cls = main_cls
+        self.payload = payload
+        self.strategy = strategy
+        self.max_iterations = max_iterations
+        self.time_limit = time_limit
+        self.max_steps = max_steps
+        self.stop_on_first_bug = stop_on_first_bug
+        self.livelock_as_bug = livelock_as_bug
+        self.record_traces = record_traces
+        self.runtime_factory = runtime_factory or BugFindingRuntime
+
+    def run(self) -> TestReport:
+        report = TestReport(strategy=self.strategy.name)
+        start = time.perf_counter()
+        for iteration in range(self.max_iterations):
+            if time.perf_counter() - start > self.time_limit:
+                break
+            if not self.strategy.prepare_iteration():
+                report.exhausted = True
+                break
+            result = self._run_one()
+            report.iterations += 1
+            report.total_steps += result.steps
+            report.total_scheduling_points += result.scheduling_points
+            if result.status == "depth-bound":
+                report.depth_bound_hits += 1
+            if result.buggy:
+                assert result.bug is not None
+                result.bug.iteration = iteration
+                report.buggy_iterations += 1
+                report.bugs.append(result.bug)
+                if report.first_bug is None:
+                    report.first_bug = result.bug
+                    report.first_bug_iteration = iteration
+                if self.stop_on_first_bug:
+                    break
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    def _run_one(self) -> ExecutionResult:
+        runtime = self.runtime_factory(
+            strategy=self.strategy,
+            max_steps=self.max_steps,
+            record_trace=self.record_traces,
+            livelock_as_bug=self.livelock_as_bug,
+        )
+        result = runtime.execute(self.main_cls, self.payload)
+        report_machines = len(runtime.machines)
+        if result.buggy:
+            assert result.bug is not None
+        self._last_machine_count = report_machines
+        return result
+
+
+def replay(
+    main_cls: Type[Machine],
+    trace: ScheduleTrace,
+    payload: Any = None,
+    max_steps: int = 20_000,
+    livelock_as_bug: bool = False,
+) -> ExecutionResult:
+    """Deterministically re-execute a recorded schedule.
+
+    This is the paper's bug-reproduction workflow: a found bug's trace is
+    replayed to observe the same failure again.
+    """
+    strategy = ReplayStrategy(trace)
+    strategy.prepare_iteration()
+    runtime = BugFindingRuntime(
+        strategy, max_steps=max_steps, record_trace=True,
+        livelock_as_bug=livelock_as_bug,
+    )
+    return runtime.execute(main_cls, payload)

@@ -1,0 +1,349 @@
+"""The bug-finding runtime: serialized, schedule-controlled execution.
+
+Section 6.2: "we designed a bug-finding mode for the runtime, in which
+execution is serialized and the schedule is controlled.  In this mode, the
+runtime repeatedly executes a program from start to completion, each time
+exploring a (potentially) different schedule. ... In bug-finding mode, the
+send and create-machine methods call the runtime method Schedule, which
+blocks the current thread and releases another thread."
+
+Implementation: one cooperative worker thread per machine, a single
+"running" token passed via per-worker semaphores.  Scheduling points occur
+exactly at ``send`` and ``create_machine`` (receives need no scheduling
+point — the simple partial-order reduction inherited from P [6]); a forced
+hand-off additionally happens when a machine goes idle.  Exactly one
+thread is runnable at any moment, so runtime state needs no locking.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Type
+
+from ..core.events import Event, MachineId
+from ..core.machine import Machine
+from ..core.runtime import RuntimeBase
+from ..errors import (
+    ActionError,
+    AssertionFailure,
+    BugReport,
+    ExecutionCanceled,
+    LivenessError,
+    PSharpError,
+    UnhandledEventError,
+)
+from .strategies import SchedulingStrategy
+from .trace import BOOL, INT, SCHED, ScheduleTrace
+
+
+class _WorkerState(Enum):
+    NEW = "new"          # thread created, waiting to run the entry handler
+    RUNNING = "running"  # inside an action (possibly blocked at a sched point)
+    IDLE = "idle"        # waiting for a deliverable event
+    DONE = "done"        # halted or finished
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a single controlled execution (one schedule)."""
+
+    status: str  # "ok" | "bug" | "depth-bound"
+    steps: int
+    scheduling_points: int
+    trace: Optional[ScheduleTrace]
+    bug: Optional[BugReport] = None
+
+    @property
+    def buggy(self) -> bool:
+        return self.bug is not None
+
+
+class _Worker:
+    __slots__ = ("machine", "thread", "semaphore", "state")
+
+    def __init__(self, machine: Machine, thread: threading.Thread) -> None:
+        self.machine = machine
+        self.thread = thread
+        self.semaphore = threading.Semaphore(0)
+        self.state = _WorkerState.NEW
+
+
+class BugFindingRuntime(RuntimeBase):
+    """A runtime whose interleavings are decided by a scheduling strategy.
+
+    Parameters
+    ----------
+    strategy:
+        The search strategy (DFS, random, replay, PCT, ...).
+    max_steps:
+        Depth bound on scheduling decisions per execution.  Exceeding it
+        terminates the execution; with ``livelock_as_bug`` it is reported
+        as a potential liveness violation (how Section 7.2.2 detects the
+        German-benchmark livelock).
+    record_trace:
+        Record every decision so a found bug can be replayed.
+    """
+
+    def __init__(
+        self,
+        strategy: SchedulingStrategy,
+        max_steps: int = 20_000,
+        record_trace: bool = True,
+        livelock_as_bug: bool = False,
+    ) -> None:
+        super().__init__()
+        self.strategy = strategy
+        self.max_steps = max_steps
+        self.record_trace = record_trace
+        self.livelock_as_bug = livelock_as_bug
+
+        self._workers: Dict[MachineId, _Worker] = {}
+        self._creation_order: List[MachineId] = []
+        self._done = threading.Semaphore(0)
+        self._canceled = False
+        self._finished = False
+        self._status = "ok"
+        self._bug: Optional[BugReport] = None
+        self._trace: Optional[ScheduleTrace] = None
+        self._sched_points = 0
+        self._steps = 0
+        self._current: Optional[MachineId] = None
+
+    # ==================================================================
+    # Public entry point
+    # ==================================================================
+    def execute(self, main_cls: Type[Machine], payload: Any = None) -> ExecutionResult:
+        """Run the program once, from start to completion, under the
+        strategy's schedule."""
+        self._trace = ScheduleTrace() if self.record_trace else None
+        mid = self._spawn(main_cls, payload)
+        first = self._pick([mid])
+        self._workers[first].semaphore.release()
+        self._done.acquire()
+        self._cancel_all()
+        for worker in self._workers.values():
+            worker.thread.join(timeout=5.0)
+        return ExecutionResult(
+            status=self._status,
+            steps=self._steps,
+            scheduling_points=self._sched_points,
+            trace=self._trace,
+            bug=self._bug,
+        )
+
+    # ==================================================================
+    # RuntimeBase interface (called from inside running actions)
+    # ==================================================================
+    def create_machine(
+        self,
+        machine_cls: Type[Machine],
+        payload: Any = None,
+        creator: Optional[Machine] = None,
+    ) -> MachineId:
+        mid = self._spawn(machine_cls, payload)
+        if creator is not None:
+            # Scheduling point *after* creation: the new machine is now a
+            # branch the strategy may choose.
+            self._schedule(creator.id)
+        return mid
+
+    def send(
+        self, target: MachineId, event: Event, sender: Optional[Machine] = None
+    ) -> None:
+        machine = self._machines.get(target)
+        if machine is not None and not machine.is_halted:
+            machine._enqueue(event)
+            self.on_visible_operation(machine, "enqueue")
+        if sender is not None:
+            self._schedule(sender.id)
+
+    def nondet(self, machine: Machine) -> bool:
+        self._check_canceled()
+        value = self.strategy.pick_bool()
+        if self._trace is not None:
+            self._trace.record(BOOL, int(value))
+        return value
+
+    def nondet_int(self, machine: Machine, bound: int) -> int:
+        self._check_canceled()
+        value = self.strategy.pick_int(bound)
+        if self._trace is not None:
+            self._trace.record(INT, value)
+        return value
+
+    def on_machine_halted(self, machine: Machine) -> None:
+        worker = self._workers.get(machine.id)
+        if worker is not None:
+            worker.state = _WorkerState.DONE
+
+    # Hook for the CHESS baseline: called on extra visible operations
+    # (queue ops, field accesses).  The base runtime ignores them — this is
+    # precisely the P# optimization of Section 6.2.
+    def on_visible_operation(self, machine: Machine, kind: str) -> None:
+        pass
+
+    # ==================================================================
+    # Worker machinery
+    # ==================================================================
+    def _spawn(self, machine_cls: Type[Machine], payload: Any) -> MachineId:
+        machine = self._instantiate(machine_cls, payload)
+        thread = threading.Thread(
+            target=self._worker_main,
+            args=(machine,),
+            daemon=True,
+            name=f"sct-{machine.id}",
+        )
+        worker = _Worker(machine, thread)
+        self._workers[machine.id] = worker
+        self._creation_order.append(machine.id)
+        thread.start()
+        return machine.id
+
+    def _worker_main(self, machine: Machine) -> None:
+        worker = self._workers[machine.id]
+        worker.semaphore.acquire()
+        if self._canceled:
+            return
+        worker.state = _WorkerState.RUNNING
+        self._current = machine.id
+        try:
+            machine._start()
+            while not machine.is_halted:
+                self._count_step()
+                self.on_visible_operation(machine, "dequeue")
+                progressed = machine._step()
+                if machine.is_halted:
+                    break
+                if not progressed:
+                    self._become_idle(worker)
+            worker.state = _WorkerState.DONE
+            self._handoff(worker, voluntary=False)
+        except ExecutionCanceled:
+            pass
+        except AssertionFailure as exc:
+            self._report_bug("assertion-failure", str(exc), machine, exc)
+        except UnhandledEventError as exc:
+            self._report_bug("unhandled-event", str(exc), machine, exc)
+        except PSharpError as exc:
+            self._report_bug("runtime-error", str(exc), machine, exc)
+        except Exception as exc:  # noqa: BLE001 - paper error class (iii)
+            wrapped = ActionError(machine, machine.current_state or "?", exc)
+            self._report_bug("action-exception", str(wrapped), machine, wrapped)
+
+    def _become_idle(self, worker: _Worker) -> None:
+        worker.state = _WorkerState.IDLE
+        self._handoff(worker, voluntary=True)
+        # Woken up: either canceled, or we have a deliverable event.
+        self._check_canceled()
+        worker.state = _WorkerState.RUNNING
+        self._current = worker.machine.id
+
+    # ------------------------------------------------------------------
+    # The scheduler
+    # ------------------------------------------------------------------
+    def _schedulable(self) -> List[MachineId]:
+        enabled = []
+        for mid in self._creation_order:
+            worker = self._workers[mid]
+            if worker.state is _WorkerState.NEW:
+                enabled.append(mid)
+            elif worker.state is _WorkerState.RUNNING:
+                enabled.append(mid)
+            elif worker.state is _WorkerState.IDLE and worker.machine._has_deliverable():
+                enabled.append(mid)
+        return enabled
+
+    def _schedule(self, current: MachineId) -> None:
+        """A scheduling point: the strategy picks the next machine among
+        the enabled ones; the current thread blocks if not chosen."""
+        self._check_canceled()
+        self._count_step()
+        enabled = self._schedulable()
+        self._sched_points += 1
+        choice = self._pick(enabled, current)
+        if choice == current:
+            return
+        current_worker = self._workers[current]
+        self._workers[choice].semaphore.release()
+        current_worker.semaphore.acquire()
+        self._check_canceled()
+        self._current = current
+
+    def _handoff(self, worker: _Worker, voluntary: bool) -> None:
+        """Give up control without remaining schedulable (idle or done)."""
+        enabled = self._schedulable()
+        if not enabled:
+            self._finish("ok")
+            # Block until cancellation unwinds this thread.
+            worker.semaphore.acquire()
+            self._check_canceled()
+            return
+        self._sched_points += 1
+        choice = self._pick(enabled, worker.machine.id)
+        self._workers[choice].semaphore.release()
+        if voluntary:
+            worker.semaphore.acquire()
+
+    def _pick(
+        self, enabled: List[MachineId], current: Optional[MachineId] = None
+    ) -> MachineId:
+        choice = self.strategy.pick_machine(enabled, current)
+        if self._trace is not None:
+            self._trace.record(SCHED, choice.value)
+        return choice
+
+    def _count_step(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            if self.livelock_as_bug:
+                self._report_bug(
+                    "liveness",
+                    f"depth bound of {self.max_steps} steps exceeded: "
+                    "potential livelock",
+                    None,
+                    LivenessError("depth bound exceeded"),
+                    finish_status="bug",
+                )
+            else:
+                self._finish("depth-bound")
+            raise ExecutionCanceled()
+
+    # ------------------------------------------------------------------
+    # Termination plumbing
+    # ------------------------------------------------------------------
+    def _check_canceled(self) -> None:
+        if self._canceled:
+            raise ExecutionCanceled()
+
+    def _report_bug(
+        self,
+        kind: str,
+        message: str,
+        machine: Optional[Machine],
+        exc: BaseException,
+        finish_status: str = "bug",
+    ) -> None:
+        if self._bug is None:
+            self._bug = BugReport(
+                kind=kind,
+                message=message,
+                machine=machine,
+                trace=self._trace,
+                exception=exc,
+                step=self._steps,
+            )
+        self._finish(finish_status)
+
+    def _finish(self, status: str) -> None:
+        if not self._finished:
+            self._finished = True
+            self._status = status
+            self._done.release()
+
+    def _cancel_all(self) -> None:
+        self._canceled = True
+        for worker in self._workers.values():
+            # Wake everyone; awakened workers observe _canceled and unwind.
+            worker.semaphore.release()

@@ -1,0 +1,337 @@
+"""Scheduling strategies for systematic concurrency testing.
+
+The paper implements "a depth-first-search (DFS) and a random scheduler
+(both embedded in the P# runtime)" (Section 6.2).  We additionally provide
+replay (for reproducing bugs from traces), PCT [4] and randomized
+delay-bounding [9, 25] as extensions — both are cited by the paper as the
+inspiration for its testing methodology.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from ..core.events import MachineId
+from .trace import BOOL, INT, SCHED, ScheduleTrace
+
+
+class SchedulingStrategy(ABC):
+    """Interface between the bug-finding runtime and a search strategy.
+
+    One *iteration* is one terminating execution of the program under test.
+    The runtime calls :meth:`prepare_iteration` before each execution, then
+    :meth:`pick_machine` at every scheduling point and :meth:`pick_bool` /
+    :meth:`pick_int` at every controlled nondeterministic choice.
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def prepare_iteration(self) -> bool:
+        """Return False when the search space is exhausted."""
+
+    @abstractmethod
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        """Choose the next machine to run among the enabled ones."""
+
+    @abstractmethod
+    def pick_bool(self) -> bool:
+        ...
+
+    @abstractmethod
+    def pick_int(self, bound: int) -> int:
+        ...
+
+    def is_fair(self) -> bool:
+        """Whether long executions remain meaningful under this strategy."""
+        return False
+
+
+class _DfsFrame:
+    __slots__ = ("options", "index")
+
+    def __init__(self, options: int) -> None:
+        self.options = options
+        self.index = 0
+
+
+class DfsStrategy(SchedulingStrategy):
+    """Systematic depth-first exploration of the schedule tree.
+
+    "Each node is a schedule prefix and the branches are the enabled
+    machines in the program state reached by the schedule prefix"
+    (Section 6.2).  Nondeterministic boolean/integer choices made by
+    machines are explored systematically as well — the limitation the
+    paper notes for machines that model nondeterministic environments.
+    """
+
+    name = "dfs"
+
+    def __init__(self, max_depth: int = 100_000) -> None:
+        self._stack: List[_DfsFrame] = []
+        self._cursor = 0
+        self._started = False
+        self._max_depth = max_depth
+
+    def prepare_iteration(self) -> bool:
+        if not self._started:
+            self._started = True
+            self._cursor = 0
+            return True
+        # Backtrack: drop exhausted suffix, advance the deepest frame that
+        # still has unexplored branches.
+        while self._stack and self._stack[-1].index >= self._stack[-1].options - 1:
+            self._stack.pop()
+        if not self._stack:
+            return False
+        self._stack[-1].index += 1
+        self._cursor = 0
+        return True
+
+    def _choose(self, options: int) -> int:
+        if options <= 0:
+            raise ValueError("no options to choose from")
+        if self._cursor >= self._max_depth:
+            # Beyond the depth cap the search degenerates to "first branch";
+            # the runtime's step bound terminates such runs.
+            self._cursor += 1
+            return 0
+        if self._cursor == len(self._stack):
+            self._stack.append(_DfsFrame(options))
+        frame = self._stack[self._cursor]
+        # The schedule prefix replays deterministically, so the branching
+        # factor matches what was recorded; min() guards divergence.
+        index = min(frame.index, options - 1)
+        self._cursor += 1
+        return index
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        return enabled[self._choose(len(enabled))]
+
+    def pick_bool(self) -> bool:
+        return bool(self._choose(2))
+
+    def pick_int(self, bound: int) -> int:
+        return self._choose(bound)
+
+
+class RandomStrategy(SchedulingStrategy):
+    """"The random scheduler chooses a random machine to execute after each
+    send and does not keep track of already explored schedules.  Thus,
+    random machine choices do not need to be controlled" (Section 6.2)."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed if seed is not None else random.randrange(2**31)
+        self._iteration = -1
+        self._rng = random.Random(self._seed)
+
+    def prepare_iteration(self) -> bool:
+        self._iteration += 1
+        # A fresh, deterministic generator per iteration: iteration k of a
+        # seeded run is reproducible in isolation.
+        self._rng = random.Random(self._seed * 1_000_003 + self._iteration)
+        return True
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        return enabled[self._rng.randrange(len(enabled))]
+
+    def pick_bool(self) -> bool:
+        return bool(self._rng.getrandbits(1))
+
+    def pick_int(self, bound: int) -> int:
+        return self._rng.randrange(bound)
+
+    def is_fair(self) -> bool:
+        return True
+
+
+class ReplayStrategy(SchedulingStrategy):
+    """Deterministically replays a recorded :class:`ScheduleTrace`.
+
+    Once the trace is exhausted (e.g. when replaying a prefix), falls back
+    to the first enabled machine so that the execution still terminates.
+    """
+
+    name = "replay"
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        self._trace = list(trace.decisions)
+        self._pos = 0
+        self._ran = False
+        self.diverged = False
+
+    def prepare_iteration(self) -> bool:
+        if self._ran:
+            return False
+        self._ran = True
+        self._pos = 0
+        self.diverged = False
+        return True
+
+    def _next(self, kind: str) -> Optional[int]:
+        if self._pos >= len(self._trace):
+            self.diverged = True
+            return None
+        recorded_kind, value = self._trace[self._pos]
+        if recorded_kind != kind:
+            self.diverged = True
+            return None
+        self._pos += 1
+        return value
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        value = self._next(SCHED)
+        if value is not None:
+            for mid in enabled:
+                if mid.value == value:
+                    return mid
+            self.diverged = True
+        return enabled[0]
+
+    def pick_bool(self) -> bool:
+        value = self._next(BOOL)
+        return bool(value) if value is not None else False
+
+    def pick_int(self, bound: int) -> int:
+        value = self._next(INT)
+        if value is None or value >= bound:
+            return 0
+        return value
+
+
+class PctStrategy(SchedulingStrategy):
+    """Probabilistic concurrency testing (Burckhardt et al. [4]).
+
+    Machines get random priorities; the highest-priority enabled machine
+    runs.  At ``depth - 1`` randomly chosen steps the currently running
+    machine's priority is dropped below all others.  Provides probabilistic
+    bug-finding guarantees for bugs of bounded depth.
+    """
+
+    name = "pct"
+
+    def __init__(
+        self, seed: Optional[int] = None, depth: int = 3, max_steps: int = 5_000
+    ) -> None:
+        self._seed = seed if seed is not None else random.randrange(2**31)
+        self._depth = depth
+        self._max_steps = max_steps
+        self._iteration = -1
+        self._rng = random.Random(self._seed)
+        self._priorities: dict = {}
+        self._change_points: set = set()
+        self._step = 0
+        # Change points are sampled from the observed execution length of
+        # the previous iteration, so short programs still see them.
+        self._horizon = 32
+
+    def prepare_iteration(self) -> bool:
+        self._iteration += 1
+        self._horizon = max(self._horizon, self._step, 2)
+        self._rng = random.Random(self._seed * 1_000_003 + self._iteration)
+        self._priorities = {}
+        self._step = 0
+        horizon = min(self._horizon, self._max_steps)
+        if self._depth > 1:
+            self._change_points = set(
+                self._rng.sample(
+                    range(1, horizon + 1), min(self._depth - 1, horizon)
+                )
+            )
+        else:
+            self._change_points = set()
+        return True
+
+    def _priority(self, mid: MachineId) -> float:
+        if mid not in self._priorities:
+            self._priorities[mid] = self._rng.random() + 1.0
+        return self._priorities[mid]
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        self._step += 1
+        best = max(enabled, key=self._priority)
+        if self._step in self._change_points:
+            # Deprioritize the would-be winner below every other machine.
+            self._priorities[best] = self._rng.random() * 1e-6
+            best = max(enabled, key=self._priority)
+        return best
+
+    def pick_bool(self) -> bool:
+        return bool(self._rng.getrandbits(1))
+
+    def pick_int(self, bound: int) -> int:
+        return self._rng.randrange(bound)
+
+
+class DelayBoundingStrategy(SchedulingStrategy):
+    """Randomized delay-bounded scheduling (Emmi et al. [9], randomized as
+    in Thomson et al. [25]).
+
+    A deterministic round-robin scheduler is perturbed by up to ``delays``
+    delay operations, inserted at randomly chosen scheduling points; each
+    delay skips the machine the deterministic scheduler would have run.
+    """
+
+    name = "delay-bounding"
+
+    def __init__(
+        self, seed: Optional[int] = None, delays: int = 2, max_steps: int = 5_000
+    ) -> None:
+        self._seed = seed if seed is not None else random.randrange(2**31)
+        self._delays = delays
+        self._max_steps = max_steps
+        self._iteration = -1
+        self._rng = random.Random(self._seed)
+        self._delay_points: set = set()
+        self._step = 0
+        # Like PCT, delay points are sampled within the observed execution
+        # length so they actually land inside short runs.
+        self._horizon = 32
+
+    def prepare_iteration(self) -> bool:
+        self._iteration += 1
+        self._horizon = max(self._horizon, self._step, 2)
+        self._rng = random.Random(self._seed * 1_000_003 + self._iteration)
+        self._step = 0
+        horizon = min(self._horizon, self._max_steps)
+        count = self._rng.randint(0, min(self._delays, horizon))
+        self._delay_points = set(
+            self._rng.sample(range(1, horizon + 1), count)
+        ) if count else set()
+        return True
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        self._step += 1
+        # Deterministic base order: keep running `current` if enabled,
+        # else lowest id.
+        ordered = sorted(enabled, key=lambda m: m.value)
+        if current in enabled:
+            choice = current
+        else:
+            choice = ordered[0]
+        if self._step in self._delay_points and len(ordered) > 1:
+            index = ordered.index(choice)
+            choice = ordered[(index + 1) % len(ordered)]
+        return choice
+
+    def pick_bool(self) -> bool:
+        return bool(self._rng.getrandbits(1))
+
+    def pick_int(self, bound: int) -> int:
+        return self._rng.randrange(bound)

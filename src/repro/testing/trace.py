@@ -1,0 +1,55 @@
+"""Schedule traces: the replayable record of one execution.
+
+"We designed the bug-finding mode to enable easy reproduction of bugs:
+after a bug is found, the runtime can generate a trace that represents the
+buggy schedule" (Section 6.2).  A trace is the sequence of all decisions
+the scheduling strategy made: which machine to run at each scheduling
+point, plus every controlled nondeterministic boolean/integer choice.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+SCHED = "sched"
+BOOL = "bool"
+INT = "int"
+
+Decision = Tuple[str, int]
+
+
+@dataclass
+class ScheduleTrace:
+    """An append-only record of scheduling decisions."""
+
+    decisions: List[Decision] = field(default_factory=list)
+
+    def record(self, kind: str, value: int) -> None:
+        self.decisions.append((kind, value))
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self.decisions)
+
+    # -- serialization (traces can be stored alongside bug reports) -----
+    def to_json(self) -> str:
+        return json.dumps(self.decisions)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleTrace":
+        return cls([(kind, value) for kind, value in json.loads(text)])
+
+    def __str__(self) -> str:
+        parts = []
+        for kind, value in self.decisions:
+            if kind == SCHED:
+                parts.append(f"m{value}")
+            elif kind == BOOL:
+                parts.append("T" if value else "F")
+            else:
+                parts.append(f"i{value}")
+        return " ".join(parts)

@@ -1,0 +1,156 @@
+"""Core-language programs used across the lang/analysis test suites.
+
+``LIST_MANAGER`` is the paper's running example (Examples 4.1/4.2): a
+machine managing a linked list that races because a reference to the list
+is still held after being sent.  The ``sum_list`` state makes the race
+concrete: the manager traverses the list it already gave away while the
+client mutates it.  ``LIST_MANAGER_FIXED`` is the Example 5.5 repair
+(``this.list := null`` after the send), which makes the traversal a no-op.
+"""
+
+ELEM_CLASS = """
+class elem {
+    int val;
+    elem next;
+    int get_val() { int ret; ret := this.val; return ret; }
+    elem get_next() { elem ret; ret := this.next; return ret; }
+    void set_val(int v) { this.val := v; }
+    void set_next(elem n) { this.next := n; }
+}
+"""
+
+_MANAGER_BODY = """
+    elem list;
+    void init() { this.list := null; }
+    void add(elem payload) {
+        elem tmp;
+        tmp := this.list;
+        payload.set_next(tmp);
+        this.list := payload;
+    }
+    void get(machine payload) {
+        elem tmp;
+        tmp := this.list;
+        send payload eReply(tmp);
+        %s
+    }
+    void sum_list(int payload) {
+        elem cur;
+        int s;
+        int v;
+        bool more;
+        s := 0;
+        cur := this.list;
+        more := cur != null;
+        while (more) {
+            v := cur.get_val();
+            s := s + v;
+            cur := cur.get_next();
+            more := cur != null;
+        }
+    }
+    transitions {
+        init:     eAdd -> add, eGet -> get, eSum -> sum_list;
+        add:      eAdd -> add, eGet -> get, eSum -> sum_list;
+        get:      eAdd -> add, eGet -> get, eSum -> sum_list;
+        sum_list: eAdd -> add, eGet -> get, eSum -> sum_list;
+    }
+"""
+
+_CLIENT = """
+machine client {
+    elem item;
+    void init() {
+        elem e;
+        machine mgr;
+        e := new elem;
+        e.set_val(1);
+        mgr := create list_manager();
+        send mgr eAdd(e);
+        send mgr eGet(me);
+        send mgr eSum(0);
+    }
+    void got(elem payload) {
+        this.item := payload;
+        payload.set_val(2);
+    }
+    transitions {
+        init: eReply -> got;
+        got:  eReply -> got;
+    }
+}
+"""
+
+LIST_MANAGER = (
+    ELEM_CLASS
+    + "machine list_manager {"
+    + _MANAGER_BODY % ""  # reference to the sent list is retained: racy
+    + "}"
+    + _CLIENT
+)
+
+LIST_MANAGER_FIXED = (
+    ELEM_CLASS
+    + "machine list_manager {"
+    + _MANAGER_BODY % "this.list := null;"  # Example 5.5 repair
+    + "}"
+    + _CLIENT
+)
+
+COUNTER = """
+machine counter {
+    int count;
+    void init() { this.count := 0; }
+    void bump(int payload) {
+        int c;
+        c := this.count;
+        c := c + payload;
+        this.count := c;
+        assert c;
+    }
+    transitions {
+        init: eBump -> bump;
+        bump: eBump -> bump;
+    }
+}
+
+machine driver {
+    void init() {
+        machine c;
+        c := create counter();
+        send c eBump(1);
+        send c eBump(2);
+    }
+    transitions { init: eNever -> init; }
+}
+"""
+
+ASSERT_FAIL = """
+machine failing {
+    void init() {
+        int zero;
+        zero := 0;
+        assert zero;
+    }
+    transitions { init: eNever -> init; }
+}
+"""
+
+NONDET_ASSERT = """
+machine coin {
+    void init() {
+        bool a;
+        bool b;
+        bool bad;
+        int zero;
+        a := nondet;
+        b := nondet;
+        bad := a && b;
+        if (bad) {
+            zero := 0;
+            assert zero;
+        }
+    }
+    transitions { init: eNever -> init; }
+}
+"""

@@ -1,0 +1,132 @@
+"""Small machine programs shared by the test suite."""
+
+from repro import Event, Machine, State
+
+
+class EPing(Event):
+    pass
+
+
+class EPong(Event):
+    pass
+
+
+class EStart(Event):
+    pass
+
+
+class Pong(Machine):
+    """Replies EPong to every EPing; halts the game after `rounds` pings."""
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        actions = {EPing: "on_ping"}
+
+    def setup(self):
+        self.pings = 0
+
+    def on_ping(self):
+        self.pings += 1
+        self.send(self.payload, EPong(self.id))
+
+
+class Ping(Machine):
+    """Drives `rounds` ping/pong exchanges, then halts both machines."""
+
+    rounds = 3
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        transitions = {EStart: "Playing"}
+
+    class Playing(State):
+        entry = "play"
+        actions = {EPong: "on_pong"}
+
+    def setup(self):
+        self.partner = self.create_machine(Pong)
+        self.count = 0
+        self.raise_event(EStart())
+
+    def play(self):
+        self.send(self.partner, EPing(self.id))
+
+    def on_pong(self):
+        self.count += 1
+        if self.count < self.rounds:
+            self.send(self.partner, EPing(self.id))
+        else:
+            from repro import Halt
+
+            self.send(self.partner, Halt())
+            self.halt()
+
+
+class EVal(Event):
+    pass
+
+
+class RacyCounter(Machine):
+    """Asserts an interleaving-dependent property: fails only under some
+    schedules.  Two `Incrementer` children write back values; the assert
+    fails iff the second child's message arrives before the first's."""
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        actions = {EVal: "on_val"}
+
+    def setup(self):
+        self.seen = []
+        self.create_machine(Incrementer, (self.id, 1))
+        self.create_machine(Incrementer, (self.id, 2))
+
+    def on_val(self):
+        self.seen.append(self.payload)
+        if len(self.seen) == 2:
+            self.assert_that(
+                self.seen == [1, 2], f"out-of-order delivery: {self.seen}"
+            )
+
+
+class Incrementer(Machine):
+    class Init(State):
+        initial = True
+        entry = "go"
+
+    def go(self):
+        parent, value = self.payload
+        self.send(parent, EVal(value))
+        self.halt()
+
+
+class NondetBug(Machine):
+    """Fails only when both controlled nondeterministic booleans are True."""
+
+    class Init(State):
+        initial = True
+        entry = "go"
+
+    def go(self):
+        a = self.nondet()
+        b = self.nondet()
+        self.assert_that(not (a and b), "both choices were True")
+        self.halt()
+
+
+class SelfLoop(Machine):
+    """Livelock: endlessly sends itself the same event (the shape of the
+    German-benchmark livelock described in Section 7.2.2)."""
+
+    class Init(State):
+        initial = True
+        entry = "go"
+        actions = {EPing: "again"}
+
+    def go(self):
+        self.send(self.id, EPing())
+
+    def again(self):
+        self.send(self.id, EPing())

@@ -1,0 +1,129 @@
+"""Integration tests over the benchmark suite: every correct variant runs
+clean, every buggy variant's bug is findable, every racy variant is
+flagged statically, and correct variants verify (possibly needing xSA or
+the read-only extension, as Table 1 reports)."""
+
+import pytest
+
+from repro import RandomStrategy, TestingEngine
+from repro.analysis.frontend import analyze_machines, lower_machines
+from repro.bench import all_benchmarks, get
+
+PSHARPBENCH = [
+    "BoundedAsync",
+    "German",
+    "BasicPaxos",
+    "TwoPhaseCommit",
+    "Chord",
+    "MultiPaxos",
+    "Raft",
+    "ChainReplication",
+]
+SOTER = ["Leader", "Pi", "Chameneos", "Swordfish"]
+
+
+def run_random(main, iterations=30, seed=0, stop_on_first_bug=False, max_steps=5000):
+    engine = TestingEngine(
+        main,
+        strategy=RandomStrategy(seed=seed),
+        max_iterations=iterations,
+        stop_on_first_bug=stop_on_first_bug,
+        max_steps=max_steps,
+        time_limit=120,
+    )
+    return engine.run()
+
+
+class TestRegistry:
+    def test_all_benchmarks_registered(self):
+        names = {b.name for b in all_benchmarks()}
+        for expected in PSHARPBENCH + SOTER + ["AsyncSystem"]:
+            assert expected in names
+
+    def test_statistics_available(self):
+        for benchmark in all_benchmarks():
+            stats = benchmark.statistics()
+            assert stats["machines"] >= 2
+            assert stats["transitions"] + stats["action_bindings"] > 0
+            assert benchmark.loc() > 30
+
+
+@pytest.mark.parametrize("name", PSHARPBENCH + SOTER)
+def test_correct_variant_runs_clean(name):
+    benchmark = get(name)
+    report = run_random(benchmark.correct.main, iterations=25, seed=11)
+    assert not report.bug_found, str(report.first_bug)
+    assert report.iterations == 25
+
+
+@pytest.mark.parametrize("name", PSHARPBENCH)
+def test_buggy_variant_bug_found_by_random(name):
+    benchmark = get(name)
+    assert benchmark.buggy is not None
+    report = run_random(
+        benchmark.buggy.main, iterations=2000, seed=7, stop_on_first_bug=True
+    )
+    assert report.bug_found, f"no bug found in {name} after {report.iterations} schedules"
+
+
+@pytest.mark.parametrize("name", PSHARPBENCH + SOTER)
+def test_correct_variant_lowers(name):
+    benchmark = get(name)
+    program = lower_machines(
+        benchmark.correct.machines, benchmark.correct.helpers, name=name
+    )
+    assert program.machines
+
+
+@pytest.mark.parametrize("name", PSHARPBENCH)
+def test_racy_variant_flagged_statically(name):
+    benchmark = get(name)
+    assert benchmark.racy is not None
+    analysis = analyze_machines(
+        benchmark.racy.machines,
+        benchmark.racy.helpers,
+        name=f"{name}-racy",
+        xsa=True,
+    )
+    assert not analysis.verified, f"seeded race in {name} was missed"
+
+
+@pytest.mark.parametrize("name", PSHARPBENCH + SOTER)
+def test_correct_variant_verified_with_extensions(name):
+    benchmark = get(name)
+    analysis = analyze_machines(
+        benchmark.correct.machines,
+        benchmark.correct.helpers,
+        name=name,
+        xsa=True,
+        readonly=True,
+    )
+    assert analysis.verified, [
+        str(d) for d in analysis.to_report().diagnostics if d.suppressed_by is None
+    ]
+
+
+def test_german_livelock_detected_by_depth_bound():
+    from repro.bench.german import LivelockHost
+
+    engine = TestingEngine(
+        LivelockHost,
+        strategy=RandomStrategy(seed=3),
+        max_iterations=50,
+        stop_on_first_bug=True,
+        max_steps=2000,
+        livelock_as_bug=True,
+    )
+    report = engine.run()
+    assert report.bug_found
+    assert report.first_bug.kind == "liveness"
+
+
+def test_async_system_five_bugs():
+    from repro.bench.async_system import BUG_DRIVERS
+
+    found = {}
+    for bug, (driver, _service) in BUG_DRIVERS.items():
+        report = run_random(driver, iterations=800, seed=13, stop_on_first_bug=True)
+        found[bug] = report.bug_found
+    assert sum(found.values()) >= 4, found

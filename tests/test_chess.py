@@ -1,0 +1,79 @@
+"""Tests for the CHESS-style baseline runtime."""
+
+from repro import DfsStrategy, RandomStrategy
+from repro.chess import ChessRuntime, chess_engine
+from repro.testing import BugFindingRuntime
+
+from .machines import Ping, RacyCounter
+
+
+def _run(runtime_cls, main_cls, seed=0, **kwargs):
+    strategy = RandomStrategy(seed=seed)
+    strategy.prepare_iteration()
+    runtime = runtime_cls(strategy, **kwargs)
+    result = runtime.execute(main_cls)
+    return runtime, result
+
+
+class TestChessRuntime:
+    def test_program_still_completes(self):
+        runtime, result = _run(ChessRuntime, Ping)
+        assert result.status == "ok"
+        ping = runtime.machines[0]
+        assert ping.count == 3
+
+    def test_many_more_scheduling_points_than_psharp(self):
+        # The core of Table 2's speed difference: CHESS schedules at every
+        # visible operation, P# only at send/create.
+        _, chess_result = _run(ChessRuntime, Ping)
+        _, psharp_result = _run(BugFindingRuntime, Ping)
+        assert (
+            chess_result.scheduling_points
+            >= 2 * psharp_result.scheduling_points
+        )
+
+    def test_no_races_reported_on_race_free_program(self):
+        # "With data race detection enabled, CHESS did not find any races"
+        runtime, result = _run(ChessRuntime, Ping, race_detection=True)
+        assert result.status == "ok"
+        assert runtime.races == []
+
+    def test_finds_same_bugs(self):
+        engine = chess_engine(
+            RacyCounter,
+            strategy=RandomStrategy(seed=1),
+            race_detection=False,
+            max_iterations=300,
+        )
+        report = engine.run()
+        assert report.bug_found
+
+    def test_rd_off_faster_than_rd_on(self):
+        # Directional overhead check with a generous margin: RD-on does
+        # vector-clock work on every field access.
+        import time
+
+        def measure(rd):
+            start = time.perf_counter()
+            engine = chess_engine(
+                Ping,
+                strategy=RandomStrategy(seed=2),
+                race_detection=rd,
+                max_iterations=60,
+                stop_on_first_bug=False,
+            )
+            engine.run()
+            return time.perf_counter() - start
+
+        slow = measure(True)
+        fast = measure(False)
+        # Don't assert a strict ratio (timer noise); RD-on must not be
+        # dramatically faster.
+        assert slow > fast * 0.5
+
+    def test_dfs_works_under_chess(self):
+        strategy = DfsStrategy()
+        strategy.prepare_iteration()
+        runtime = ChessRuntime(strategy, race_detection=False)
+        result = runtime.execute(Ping)
+        assert result.status == "ok"

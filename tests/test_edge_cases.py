@@ -1,0 +1,307 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import pytest
+
+from repro import (
+    AnalysisReport,
+    BugFindingRuntime,
+    DfsStrategy,
+    Event,
+    Machine,
+    RandomStrategy,
+    ScheduleTrace,
+    State,
+    TestingEngine,
+)
+from repro.analysis import analyze_program, build_driver, TaintEngine
+from repro.analysis.frontend import FrontendError, lower_machines
+from repro.errors import AnalysisDiagnostic
+from repro.lang import Interpreter, ParseError, parse_program
+from repro.testing.strategies import ReplayStrategy
+
+
+class EKick(Event):
+    pass
+
+
+class EData(Event):
+    pass
+
+
+def run_once(main_cls, seed=0, **kwargs):
+    strategy = RandomStrategy(seed=seed)
+    strategy.prepare_iteration()
+    runtime = BugFindingRuntime(strategy, **kwargs)
+    return runtime, runtime.execute(main_cls)
+
+
+class TestRuntimeEdges:
+    def test_self_send_preserves_fifo(self):
+        log = []
+
+        class SelfSender(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+                actions = {EKick: "on_kick", EData: "on_data"}
+
+            def go(self):
+                self.send(self.id, EKick())
+                self.send(self.id, EData())
+
+            def on_kick(self):
+                log.append("kick")
+
+            def on_data(self):
+                log.append("data")
+                self.halt()
+
+        _, result = run_once(SelfSender)
+        assert result.status == "ok"
+        assert log == ["kick", "data"]
+
+    def test_machine_creating_many_children(self):
+        class Parent(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                for _ in range(10):
+                    self.create_machine(Child)
+                self.halt()
+
+        class Child(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                self.halt()
+
+        runtime, result = run_once(Parent)
+        assert result.status == "ok"
+        assert len(runtime.machines) == 11
+
+    def test_double_raise_is_a_bug(self):
+        class DoubleRaiser(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+                actions = {EKick: "nop", EData: "nop"}
+
+            def go(self):
+                self.raise_event(EKick())
+                self.raise_event(EData())
+
+            def nop(self):
+                pass
+
+        _, result = run_once(DoubleRaiser)
+        assert result.buggy
+
+    def test_nondet_int_range(self):
+        seen = set()
+
+        class Chooser(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                seen.add(self.nondet_int(4))
+                self.halt()
+
+        engine = TestingEngine(
+            Chooser, strategy=DfsStrategy(), max_iterations=50,
+            stop_on_first_bug=False,
+        )
+        report = engine.run()
+        assert report.exhausted
+        assert seen == {0, 1, 2, 3}
+
+    def test_max_steps_zero_like_bound(self):
+        from .machines import Ping
+
+        _, result = run_once(Ping, max_steps=2)
+        assert result.status == "depth-bound"
+
+
+class TestReplayEdges:
+    def test_replay_of_empty_trace_terminates(self):
+        from .machines import Ping
+
+        strategy = ReplayStrategy(ScheduleTrace([]))
+        strategy.prepare_iteration()
+        runtime = BugFindingRuntime(strategy)
+        result = runtime.execute(Ping)
+        assert result.status == "ok"
+        assert strategy.diverged  # fell back to first-enabled
+
+    def test_replay_with_garbage_machine_ids(self):
+        from .machines import Ping
+
+        strategy = ReplayStrategy(ScheduleTrace([("sched", 999)] * 50))
+        strategy.prepare_iteration()
+        runtime = BugFindingRuntime(strategy)
+        result = runtime.execute(Ping)
+        assert result.status == "ok"
+
+
+class TestParserEdges:
+    def test_comments_are_skipped(self):
+        program = parse_program(
+            """
+            // a machine with comments
+            machine m {
+                void init() {
+                    int x; // trailing comment
+                    x := 1;
+                }
+                transitions { init: eNever -> init; }
+            }
+            """
+        )
+        assert "m" in program.machines
+
+    def test_missing_semicolon_reported(self):
+        with pytest.raises(ParseError):
+            parse_program("machine m { void init() { int x x := 1; } }")
+
+    def test_machine_without_methods_rejected(self):
+        with pytest.raises(ParseError, match="no methods"):
+            parse_program("machine empty { }")
+
+
+class TestInterpreterEdges:
+    def test_unbound_send_target_is_error(self):
+        program = parse_program(
+            """
+            machine bad {
+                void init() {
+                    int x;
+                    x := 5;
+                    send x eFoo(0);
+                }
+                transitions { init: eNever -> init; }
+            }
+            """
+        )
+        interp = Interpreter(program, instances=["bad"])
+        error = interp.run()
+        assert error is not None and "not a machine" in error
+
+    def test_halted_queue_drops_messages(self):
+        program = parse_program(
+            """
+            machine a {
+                void init() {
+                    machine other;
+                    other := create b();
+                    send other eGo(1);
+                    send other eGo(2);
+                }
+                transitions { init: eNever -> init; }
+            }
+            machine b {
+                void init() { }
+                void go(int payload) { }
+                transitions { init: eGo -> go; go: eGo -> go; }
+            }
+            """
+        )
+        interp = Interpreter(program, instances=["a"])
+        assert interp.run() is None
+
+
+class TestAnalysisEdges:
+    def test_diagnostics_render(self):
+        diag = AnalysisDiagnostic(
+            kind="ownership-violation",
+            machine="m",
+            method="f",
+            node="<n3>",
+            variable="x",
+            condition=1,
+            message="retained",
+        )
+        text = str(diag)
+        assert "m.f" in text and "condition 1" in text
+        report = AnalysisReport(program="p", diagnostics=[diag])
+        assert not report.verified
+        assert "1 potential race" in str(report)
+
+    def test_empty_machine_program_verifies(self):
+        program = parse_program(
+            """
+            machine quiet {
+                void init() { }
+                transitions { init: eNever -> init; }
+            }
+            """
+        )
+        analysis = analyze_program(program)
+        assert analysis.verified
+
+    def test_driver_none_for_missing_init(self):
+        program = parse_program(
+            """
+            machine quiet {
+                void init() { }
+                transitions { init: eNever -> init; }
+            }
+            """
+        )
+        taint = TaintEngine(program)
+        program.machines["quiet"].initial = "does_not_exist"
+        assert build_driver(program, taint, "quiet") is None
+
+    def test_frontend_rejects_try(self):
+        class TryUser(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                try:
+                    self.halt()
+                except Exception:
+                    pass
+
+        with pytest.raises(FrontendError):
+            lower_machines([TryUser])
+
+    def test_frontend_handles_fstrings_and_log(self):
+        class Logger(Machine):
+            class S(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                value = 3
+                self.log(f"value is {value}")
+                self.halt()
+
+        program = lower_machines([Logger])
+        assert analyze_program(program).verified
+
+
+class TestStrategyEdges:
+    def test_dfs_with_single_option_spaces(self):
+        dfs = DfsStrategy()
+        runs = 0
+        while dfs.prepare_iteration() and runs < 10:
+            runs += 1
+            for _ in range(5):
+                assert dfs.pick_int(1) == 0
+        assert runs == 1  # no branching: exactly one schedule
+
+    def test_pct_and_delay_always_pick_enabled(self):
+        from repro import DelayBoundingStrategy, PctStrategy
+        from repro.core.events import MachineId
+
+        enabled = [MachineId(i, f"m{i}") for i in range(3)]
+        for strategy in (PctStrategy(seed=1), DelayBoundingStrategy(seed=1)):
+            strategy.prepare_iteration()
+            for _ in range(20):
+                assert strategy.pick_machine(enabled, enabled[0]) in enabled

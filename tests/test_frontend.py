@@ -1,0 +1,192 @@
+"""Tests for the Python -> IR frontend: the same Machine classes that run
+under the SCT runtime are lowered and statically analyzed."""
+
+import pytest
+
+from repro import Event, Machine, State
+from repro.analysis import analyze_program
+from repro.analysis.frontend import (
+    FrontendError,
+    analyze_machines,
+    lower_machines,
+)
+from repro.lang.ir import Call, Send, StoreField, flatten
+
+
+class EItem(Event):
+    pass
+
+
+class EAck(Event):
+    pass
+
+
+class RacySender(Machine):
+    """Sends a list it keeps mutating: a real race, must be flagged."""
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        actions = {EAck: "on_ack"}
+
+    def setup(self):
+        self.data = [1, 2, 3]
+        self.peer = self.create_machine(ReadingPeer, self.id)
+        self.send(self.peer, EItem(self.data))
+
+    def on_ack(self):
+        self.data.append(4)  # mutation of heap already given away
+
+
+class SafeSender(Machine):
+    """Sends a fresh list each time and forgets it: race-free."""
+
+    class Init(State):
+        initial = True
+        entry = "setup"
+        actions = {EAck: "on_ack"}
+
+    def setup(self):
+        self.peer = self.create_machine(ReadingPeer, self.id)
+        payload = [1, 2, 3]
+        self.send(self.peer, EItem(payload))
+
+    def on_ack(self):
+        fresh = [self.nondet_int(10)]
+        self.send(self.peer, EItem(fresh))
+
+
+class StagedSender(Machine):
+    """The xSA pattern: payload staged in a field in one state, sent and
+    reset in another."""
+
+    class Staging(State):
+        initial = True
+        entry = "stage"
+        transitions = {EAck: "Flushing"}
+
+    class Flushing(State):
+        entry = "flush"
+        transitions = {EAck: "Staging"}
+
+    def stage(self):
+        self.pending = [1, 2]
+        self.peer = self.create_machine(ReadingPeer, self.id)
+        self.send(self.id, EAck())
+
+    def flush(self):
+        data = self.pending
+        self.pending = None
+        self.send(self.peer, EItem(data))
+        self.send(self.id, EAck())
+
+
+class ReadingPeer(Machine):
+    class Init(State):
+        initial = True
+        entry = "setup"
+        actions = {EItem: "on_item"}
+
+    def setup(self):
+        self.parent = self.payload
+        self.total = 0
+
+    def on_item(self):
+        items = self.payload
+        for value in items:
+            self.total = self.total + value
+        self.send(self.parent, EAck())
+
+
+class TestLowering:
+    def test_machines_lowered_to_program(self):
+        program = lower_machines([SafeSender, ReadingPeer], name="safe")
+        assert set(program.machines) == {"SafeSender", "ReadingPeer"}
+        sender = program.classes["SafeSender"]
+        assert "setup" in sender.methods
+        assert "on_ack" in sender.methods
+
+    def test_send_lowered_with_event_name(self):
+        program = lower_machines([SafeSender, ReadingPeer])
+        setup = program.classes["SafeSender"].methods["setup"]
+        sends = [s for s in flatten(setup.body) if isinstance(s, Send)]
+        assert len(sends) == 1
+        assert sends[0].event == "EItem"
+        assert sends[0].arg is not None
+
+    def test_field_writes_lowered_to_storefield(self):
+        program = lower_machines([SafeSender, ReadingPeer])
+        setup = program.classes["SafeSender"].methods["setup"]
+        stores = [s for s in flatten(setup.body) if isinstance(s, StoreField)]
+        assert {s.field for s in stores} == {"peer"}
+
+    def test_container_methods_lowered_to_calls(self):
+        program = lower_machines([RacySender, ReadingPeer])
+        on_ack = program.classes["RacySender"].methods["on_ack"]
+        calls = [s for s in flatten(on_ack.body) if isinstance(s, Call)]
+        assert any(c.method == "append" for c in calls)
+
+    def test_transitions_and_actions_become_handlers(self):
+        program = lower_machines([StagedSender, ReadingPeer])
+        decl = program.machines["StagedSender"]
+        events = {(h.state, h.event) for h in decl.handlers}
+        assert ("Staging", "EAck") in events
+        assert ("Flushing", "EAck") in events
+
+    def test_payload_type_inferred_from_senders(self):
+        program = lower_machines([RacySender, ReadingPeer])
+        on_item = program.classes["ReadingPeer"].methods["on_item"]
+        payload_param = on_item.params[0]
+        assert payload_param.name == "$payload"
+        assert payload_param.type == "list"
+
+    def test_unsupported_construct_reported(self):
+        class BreakUser(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                for i in range(3):
+                    break
+
+        with pytest.raises(FrontendError, match="break"):
+            lower_machines([BreakUser])
+
+
+class TestEndToEndAnalysis:
+    def test_racy_sender_flagged(self):
+        analysis = analyze_machines([RacySender, ReadingPeer], name="racy")
+        assert not analysis.verified
+        methods = {v.site.info.decl.name for _m, v in analysis.surviving()}
+        assert "setup" in methods  # the send of self.data
+
+    def test_safe_sender_verified(self):
+        analysis = analyze_machines([SafeSender, ReadingPeer], name="safe")
+        assert analysis.verified, [
+            str(d) for d in analysis.to_report().diagnostics
+        ]
+
+    def test_staged_sender_needs_xsa(self):
+        without = analyze_machines(
+            [StagedSender, ReadingPeer], name="staged", xsa=False
+        )
+        assert not without.verified
+        with_xsa = analyze_machines(
+            [StagedSender, ReadingPeer], name="staged", xsa=True
+        )
+        assert with_xsa.verified, [
+            str(d) for d in with_xsa.to_report().diagnostics
+        ]
+
+    def test_runtime_execution_matches_analysis(self):
+        # The very same classes run under the SCT runtime.
+        from repro import RandomStrategy, TestingEngine
+
+        engine = TestingEngine(
+            SafeSender, strategy=RandomStrategy(seed=0), max_iterations=20,
+            stop_on_first_bug=False, max_steps=2_000,
+        )
+        report = engine.run()
+        assert report.iterations == 20
+        assert not report.bug_found

@@ -1,0 +1,70 @@
+"""Tests contrasting the SOTER-style baseline with the P# analysis."""
+
+from repro.analysis import analyze_program
+from repro.lang import parse_program
+from repro.soter import soter_analyze
+
+from .lang_programs import ELEM_CLASS, LIST_MANAGER, LIST_MANAGER_FIXED
+
+
+class TestSoterBaseline:
+    def test_flags_genuinely_racy_program(self):
+        program = parse_program(LIST_MANAGER)
+        violations = soter_analyze(program)
+        assert violations  # the real race is caught
+
+    def test_false_positive_on_field_reset(self):
+        # Example 5.5's repair is invisible to a flow-insensitive
+        # analysis: SOTER-style still flags it, ours verifies it.
+        program = parse_program(LIST_MANAGER_FIXED)
+        soter = soter_analyze(program)
+        assert soter  # false positive
+
+        ours = analyze_program(program, xsa=True)
+        get_surviving = [
+            v for _m, v in ours.surviving() if v.site.info.decl.name == "get"
+        ]
+        assert not get_surviving  # we verify the repair
+
+    def test_false_positive_on_fresh_loop_payload(self):
+        fresh_loop = ELEM_CLASS + """
+        machine generator {
+            elem last;
+            void init() { }
+            void go(machine payload) {
+                elem e;
+                int i;
+                bool more;
+                i := 0;
+                more := i < 3;
+                while (more) {
+                    e := new elem;
+                    this.last := e;
+                    send payload eItem(e);
+                    this.last := null;
+                    i := i + 1;
+                    more := i < 3;
+                }
+            }
+            transitions { init: eGo -> go; go: eGo -> go; }
+        }
+        """
+        program = parse_program(fresh_loop)
+        assert soter_analyze(program)  # flow-insensitive: flagged
+        assert analyze_program(program, xsa=True).verified  # ours: verified
+
+    def test_clean_program_passes_both(self):
+        clean = ELEM_CLASS + """
+        machine producer {
+            void init() { }
+            void go(machine payload) {
+                elem e;
+                e := new elem;
+                send payload eItem(e);
+            }
+            transitions { init: eGo -> go; go: eGo -> go; }
+        }
+        """
+        program = parse_program(clean)
+        assert not soter_analyze(program)
+        assert analyze_program(program).verified
