@@ -1,0 +1,2 @@
+"""Benchmark harness package (enables the relative imports in the
+Table 1 / Table 2 modules)."""

@@ -28,15 +28,13 @@ PSHARPBENCH = [
     "Raft",
     "ChReplication",
 ]
-# registry name differs for one entry
-REGISTRY_NAMES = {
-    "ChReplication": "ChainReplication",
-}
 SOTER_SUITE = ["Leader", "Pi", "Chameneos", "Swordfish"]
 
 
 def registry_name(name: str) -> str:
-    return REGISTRY_NAMES.get(name, name)
+    from repro.bench import resolve
+
+    return resolve(name)
 
 
 # ---------------------------------------------------------------------------

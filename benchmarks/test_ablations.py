@@ -21,6 +21,8 @@ from repro.analysis.frontend import lower_machines
 from repro.bench import get
 from repro.chess import chess_engine
 
+pytestmark = pytest.mark.bench
+
 
 def _program(name):
     bench = get(name)

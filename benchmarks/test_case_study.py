@@ -13,6 +13,8 @@ from repro import RandomStrategy, TestingEngine
 from repro.analysis.frontend import analyze_machines
 from repro.bench.async_system import BUG_DRIVERS, BaseService
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.mark.parametrize("bug", sorted(BUG_DRIVERS))
 def test_bug_found_by_random_scheduler(benchmark, bug):

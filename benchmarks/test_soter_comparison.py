@@ -16,6 +16,8 @@ from repro.soter import soter_analyze
 
 from .tables import SOTER_SUITE, soter_comparison
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.mark.parametrize("name", SOTER_SUITE)
 def test_soter_baseline_speed(benchmark, name):

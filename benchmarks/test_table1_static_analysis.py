@@ -18,6 +18,8 @@ from repro.bench import get
 
 from .tables import PSHARPBENCH, SOTER_SUITE, build_table1, registry_name
 
+pytestmark = pytest.mark.bench
+
 ALL_NAMES = PSHARPBENCH + SOTER_SUITE + ["AsyncSystem"]
 
 

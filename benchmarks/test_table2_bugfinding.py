@@ -17,17 +17,14 @@ Run: ``pytest benchmarks/test_table2_bugfinding.py --benchmark-only -s``
 import pytest
 
 from repro import DfsStrategy, RandomStrategy, TestingEngine
-from repro.bench import get
+from repro.bench import buggy_main as _buggy_main
 from repro.chess import chess_engine
 
-from .tables import PSHARPBENCH, TABLE2_SCHEDULERS, build_table2, registry_name, run_cell
+from .tables import PSHARPBENCH, TABLE2_SCHEDULERS, build_table2, run_cell
+
+pytestmark = pytest.mark.bench
 
 THROUGHPUT_BENCHES = ["BoundedAsync", "German", "2PhaseCommit"]
-NAME_FIXUPS = {"2PhaseCommit": "TwoPhaseCommit"}
-
-
-def _buggy_main(name):
-    return get(NAME_FIXUPS.get(name, registry_name(name))).buggy.main
 
 
 @pytest.mark.parametrize("name", THROUGHPUT_BENCHES)

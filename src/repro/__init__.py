@@ -8,9 +8,10 @@ Programming model (:mod:`repro.core`):
     ``Machine``, ``State``, ``Event``, ``Halt``, ``MachineId``, ``Runtime``
 
 Systematic concurrency testing (:mod:`repro.testing`):
-    ``TestingEngine``, ``BugFindingRuntime``, ``DfsStrategy``,
+    ``TestingEngine``, ``PortfolioEngine`` (parallel strategy portfolio),
+    ``BugFindingRuntime``, ``DfsStrategy``, ``IterativeDeepeningDfsStrategy``,
     ``RandomStrategy``, ``ReplayStrategy``, ``PctStrategy``,
-    ``DelayBoundingStrategy``, ``replay``
+    ``DelayBoundingStrategy``, ``StrategySpec``, ``replay``
 
 Static data race analysis (:mod:`repro.analysis`):
     ``analyze_program``, ``analyze_machines`` — the ownership-based
@@ -51,12 +52,18 @@ from .testing import (
     DelayBoundingStrategy,
     DfsStrategy,
     ExecutionResult,
+    IterativeDeepeningDfsStrategy,
     PctStrategy,
+    PortfolioEngine,
     RandomStrategy,
     ReplayStrategy,
     ScheduleTrace,
+    StrategySpec,
     TestingEngine,
     TestReport,
+    default_portfolio,
+    make_strategy,
+    register_strategy,
     replay,
 )
 
@@ -82,9 +89,15 @@ __all__ = [
     "AnalysisReport",
     "TestingEngine",
     "TestReport",
+    "PortfolioEngine",
+    "StrategySpec",
+    "default_portfolio",
+    "make_strategy",
+    "register_strategy",
     "BugFindingRuntime",
     "ExecutionResult",
     "DfsStrategy",
+    "IterativeDeepeningDfsStrategy",
     "RandomStrategy",
     "ReplayStrategy",
     "PctStrategy",

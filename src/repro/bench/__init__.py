@@ -1,5 +1,23 @@
 """Benchmark programs: PSharpBench, SOTER-P# and the AsyncSystem case study."""
 
-from .registry import Benchmark, Variant, all_benchmarks, get, suite
+from .registry import (
+    Benchmark,
+    Variant,
+    all_benchmarks,
+    buggy_main,
+    get,
+    resolve,
+    suite,
+    table2_suite,
+)
 
-__all__ = ["Benchmark", "Variant", "all_benchmarks", "get", "suite"]
+__all__ = [
+    "Benchmark",
+    "Variant",
+    "all_benchmarks",
+    "buggy_main",
+    "get",
+    "resolve",
+    "suite",
+    "table2_suite",
+]

@@ -69,6 +69,18 @@ class Benchmark:
 
 _REGISTRY: Dict[str, Benchmark] = {}
 
+# The paper's tables abbreviate two benchmark names; accept both spellings
+# everywhere a benchmark is looked up by name.
+ALIASES: Dict[str, str] = {
+    "2PhaseCommit": "TwoPhaseCommit",
+    "ChReplication": "ChainReplication",
+}
+
+
+def resolve(name: str) -> str:
+    """Canonical registry name for ``name`` (resolves table aliases)."""
+    return ALIASES.get(name, name)
+
 
 def register(benchmark: Benchmark) -> Benchmark:
     _REGISTRY[benchmark.name] = benchmark
@@ -82,12 +94,25 @@ def all_benchmarks() -> List[Benchmark]:
 
 def get(name: str) -> Benchmark:
     _ensure_loaded()
-    return _REGISTRY[name]
+    return _REGISTRY[resolve(name)]
 
 
 def suite(name: str) -> List[Benchmark]:
     _ensure_loaded()
     return [b for b in _REGISTRY.values() if b.suite == name]
+
+
+def buggy_main(name: str) -> Type[Machine]:
+    """The entry machine of ``name``'s buggy (Table 2) variant."""
+    benchmark = get(name)
+    if benchmark.buggy is None:
+        raise KeyError(f"benchmark {benchmark.name!r} has no buggy variant")
+    return benchmark.buggy.main
+
+
+def table2_suite() -> List[Benchmark]:
+    """The PSharpBench programs with a seeded Table 2 bug."""
+    return [b for b in suite("psharpbench") if b.buggy is not None]
 
 
 _LOADED = False

@@ -94,6 +94,23 @@ class BugReport:
         where = f" in {self.machine}" if self.machine is not None else ""
         return f"[{self.kind}]{where}: {self.message}"
 
+    def detached(self) -> "BugReport":
+        """A picklable copy, safe to send across process boundaries.
+
+        Live references (the machine object, the raised exception) are
+        replaced by their string forms; the schedule trace — the part that
+        matters for replay — is plain data and survives as is.
+        """
+        return BugReport(
+            kind=self.kind,
+            message=self.message,
+            machine=str(self.machine) if self.machine is not None else None,
+            trace=self.trace,
+            exception=None,
+            iteration=self.iteration,
+            step=self.step,
+        )
+
 
 @dataclass
 class AnalysisDiagnostic:

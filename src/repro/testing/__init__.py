@@ -1,10 +1,19 @@
 """Systematic concurrency testing for P# programs (Section 6.2)."""
 
-from .engine import TestingEngine, TestReport, replay
+from .engine import TestingEngine, TestReport, drive, replay
+from .portfolio import (
+    PortfolioEngine,
+    StrategySpec,
+    default_portfolio,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
 from .runtime import BugFindingRuntime, ExecutionResult
 from .strategies import (
     DelayBoundingStrategy,
     DfsStrategy,
+    IterativeDeepeningDfsStrategy,
     PctStrategy,
     RandomStrategy,
     ReplayStrategy,
@@ -15,11 +24,19 @@ from .trace import ScheduleTrace
 __all__ = [
     "TestingEngine",
     "TestReport",
+    "drive",
     "replay",
+    "PortfolioEngine",
+    "StrategySpec",
+    "default_portfolio",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
     "BugFindingRuntime",
     "ExecutionResult",
     "SchedulingStrategy",
     "DfsStrategy",
+    "IterativeDeepeningDfsStrategy",
     "RandomStrategy",
     "ReplayStrategy",
     "PctStrategy",

@@ -5,13 +5,18 @@ metrics Table 2 reports: number of threads (#T), scheduling points (#SP),
 schedules per second (#Sch/sec), whether a bug was found, and — for the
 random scheduler, which keeps exploring after a bug — the percentage of
 buggy schedules (%Buggy).
+
+The iteration loop itself lives in :func:`drive`, so that a single-strategy
+:class:`TestingEngine` run and every worker of a
+:class:`~repro.testing.portfolio.PortfolioEngine` campaign execute the exact
+same code — a 1-worker portfolio is, by construction, the engine.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Type
+from typing import Any, Callable, List, Optional, Sequence, Type
 
 from ..core.machine import Machine
 from ..errors import BugReport
@@ -22,7 +27,20 @@ from .trace import ScheduleTrace
 
 @dataclass
 class TestReport:
-    """Aggregate statistics over all explored schedules."""
+    """Aggregate statistics over all explored schedules.
+
+    Reports are *mergeable* (:meth:`merge` / :meth:`merged`): a portfolio
+    campaign folds its workers' sub-reports into one campaign report whose
+    counters are sums, whose ``max_machines`` is the max, and whose
+    ``elapsed`` is wall-clock time (parallel work does not sum).  They are
+    also *picklable* once :meth:`detached` has replaced live machine /
+    exception references inside bug reports with plain strings, so workers
+    can hand them back across process boundaries.
+
+    (``__test__`` keeps pytest from collecting this as a test class.)
+    """
+
+    __test__ = False
 
     strategy: str
     iterations: int = 0
@@ -36,6 +54,8 @@ class TestReport:
     first_bug_iteration: int = -1
     bugs: List[BugReport] = field(default_factory=list)
     exhausted: bool = False
+    timed_out: bool = False
+    sub_reports: List["TestReport"] = field(default_factory=list)
 
     @property
     def bug_found(self) -> bool:
@@ -62,6 +82,136 @@ class TestReport:
             f"buggy={self.buggy_iterations} ({self.percent_buggy:.0f}%)"
             + (f", first bug: {self.first_bug}" if self.first_bug else "")
         )
+
+    # -- portfolio plumbing --------------------------------------------
+    def merge(self, other: "TestReport") -> "TestReport":
+        """Fold ``other`` into this report (in place) and return self.
+
+        Counters sum; ``max_machines`` takes the max; ``elapsed`` takes the
+        max because merged reports describe *concurrent* work — aggregate
+        schedules/sec is total iterations over wall-clock time.  The first
+        bug of the merge is the existing one if any (fold order defines
+        precedence), otherwise ``other``'s.
+        """
+        self.iterations += other.iterations
+        self.buggy_iterations += other.buggy_iterations
+        self.depth_bound_hits += other.depth_bound_hits
+        self.total_steps += other.total_steps
+        self.total_scheduling_points += other.total_scheduling_points
+        self.max_machines = max(self.max_machines, other.max_machines)
+        self.elapsed = max(self.elapsed, other.elapsed)
+        self.bugs.extend(other.bugs)
+        if self.first_bug is None and other.first_bug is not None:
+            self.first_bug = other.first_bug
+            self.first_bug_iteration = other.first_bug_iteration
+        self.timed_out = self.timed_out or other.timed_out
+        return self
+
+    @classmethod
+    def merged(
+        cls, reports: Sequence["TestReport"], strategy: str = "portfolio"
+    ) -> "TestReport":
+        """Merge ``reports`` into a fresh campaign report (sub-reports kept)."""
+        campaign = cls(strategy=strategy)
+        for report in reports:
+            campaign.merge(report)
+        campaign.exhausted = bool(reports) and all(r.exhausted for r in reports)
+        campaign.sub_reports = list(reports)
+        return campaign
+
+    def detached(self) -> "TestReport":
+        """A picklable copy: bug reports lose their live machine/exception
+        references (kept as strings), traces are preserved for replay."""
+        clone = TestReport(
+            strategy=self.strategy,
+            iterations=self.iterations,
+            buggy_iterations=self.buggy_iterations,
+            depth_bound_hits=self.depth_bound_hits,
+            total_steps=self.total_steps,
+            total_scheduling_points=self.total_scheduling_points,
+            max_machines=self.max_machines,
+            elapsed=self.elapsed,
+            first_bug_iteration=self.first_bug_iteration,
+            exhausted=self.exhausted,
+            timed_out=self.timed_out,
+        )
+        clone.bugs = [bug.detached() for bug in self.bugs]
+        if self.first_bug is not None:
+            clone.first_bug = self.first_bug.detached()
+        clone.sub_reports = [sub.detached() for sub in self.sub_reports]
+        return clone
+
+
+def drive(
+    main_cls: Type[Machine],
+    payload: Any,
+    strategy: SchedulingStrategy,
+    *,
+    max_iterations: int = 10_000,
+    time_limit: Optional[float] = 300.0,
+    max_steps: int = 20_000,
+    stop_on_first_bug: bool = True,
+    livelock_as_bug: bool = False,
+    record_traces: bool = True,
+    runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
+    deadline: Optional[float] = None,
+    stop_check: Optional[Callable[[], bool]] = None,
+) -> TestReport:
+    """The iteration loop shared by :class:`TestingEngine` and portfolio
+    workers: run up to ``max_iterations`` schedules under ``strategy``.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp; when absent
+    it is derived from ``time_limit``.  The deadline is enforced both
+    between iterations and *inside* them (propagated to the runtime), so a
+    single long schedule cannot overshoot the budget.  ``stop_check`` is
+    polled between iterations and inside them — the portfolio's
+    first-bug-wins cancellation.
+    """
+    factory = runtime_factory or BugFindingRuntime
+    report = TestReport(strategy=strategy.name)
+    start = time.perf_counter()
+    if deadline is None and time_limit is not None:
+        deadline = time.monotonic() + time_limit
+    for iteration in range(max_iterations):
+        if deadline is not None and time.monotonic() >= deadline:
+            report.timed_out = True
+            break
+        if stop_check is not None and stop_check():
+            break
+        if not strategy.prepare_iteration():
+            report.exhausted = True
+            break
+        runtime = factory(
+            strategy=strategy,
+            max_steps=max_steps,
+            record_trace=record_traces,
+            livelock_as_bug=livelock_as_bug,
+            deadline=deadline,
+            stop_check=stop_check,
+        )
+        result = runtime.execute(main_cls, payload)
+        report.max_machines = max(report.max_machines, len(runtime.machines))
+        report.total_steps += result.steps
+        report.total_scheduling_points += result.scheduling_points
+        if result.status in ("time-bound", "stopped"):
+            # Cut off mid-schedule: count the work, not the schedule.
+            report.timed_out = report.timed_out or result.status == "time-bound"
+            break
+        report.iterations += 1
+        if result.status == "depth-bound":
+            report.depth_bound_hits += 1
+        if result.buggy:
+            assert result.bug is not None
+            result.bug.iteration = iteration
+            report.buggy_iterations += 1
+            report.bugs.append(result.bug)
+            if report.first_bug is None:
+                report.first_bug = result.bug
+                report.first_bug_iteration = iteration
+            if stop_on_first_bug:
+                break
+    report.elapsed = time.perf_counter() - start
+    return report
 
 
 class TestingEngine:
@@ -102,47 +252,25 @@ class TestingEngine:
         self.record_traces = record_traces
         self.runtime_factory = runtime_factory or BugFindingRuntime
 
-    def run(self) -> TestReport:
-        report = TestReport(strategy=self.strategy.name)
-        start = time.perf_counter()
-        for iteration in range(self.max_iterations):
-            if time.perf_counter() - start > self.time_limit:
-                break
-            if not self.strategy.prepare_iteration():
-                report.exhausted = True
-                break
-            result = self._run_one()
-            report.iterations += 1
-            report.total_steps += result.steps
-            report.total_scheduling_points += result.scheduling_points
-            if result.status == "depth-bound":
-                report.depth_bound_hits += 1
-            if result.buggy:
-                assert result.bug is not None
-                result.bug.iteration = iteration
-                report.buggy_iterations += 1
-                report.bugs.append(result.bug)
-                if report.first_bug is None:
-                    report.first_bug = result.bug
-                    report.first_bug_iteration = iteration
-                if self.stop_on_first_bug:
-                    break
-        report.elapsed = time.perf_counter() - start
-        return report
-
-    def _run_one(self) -> ExecutionResult:
-        runtime = self.runtime_factory(
-            strategy=self.strategy,
+    def run(
+        self,
+        deadline: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+    ) -> TestReport:
+        return drive(
+            self.main_cls,
+            self.payload,
+            self.strategy,
+            max_iterations=self.max_iterations,
+            time_limit=self.time_limit,
             max_steps=self.max_steps,
-            record_trace=self.record_traces,
+            stop_on_first_bug=self.stop_on_first_bug,
             livelock_as_bug=self.livelock_as_bug,
+            record_traces=self.record_traces,
+            runtime_factory=self.runtime_factory,
+            deadline=deadline,
+            stop_check=stop_check,
         )
-        result = runtime.execute(self.main_cls, self.payload)
-        report_machines = len(runtime.machines)
-        if result.buggy:
-            assert result.bug is not None
-        self._last_machine_count = report_machines
-        return result
 
 
 def replay(

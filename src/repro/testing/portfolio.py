@@ -1,0 +1,359 @@
+"""Parallel portfolio testing: many strategies racing in separate processes.
+
+The paper's Table 2 measures single-strategy, single-process campaigns.
+Two observations push beyond that:
+
+* No single search heuristic dominates — DFS exhausts shallow corners,
+  random sampling finds the deep rare bugs, PCT and delay-bounding carry
+  probabilistic guarantees for bounded-depth bugs.  Running a *portfolio*
+  of diverse strategies hedges across bug depths, the same way portfolio
+  SAT/SMT solvers combine complementary heuristics.
+* One schedule-controlled execution serializes everything on purpose, so
+  a campaign's schedules/sec is capped by one core.  Sharding workers
+  across processes recovers the hardware's parallelism.
+
+:class:`PortfolioEngine` runs one worker process per
+:class:`StrategySpec`.  Each worker drives the same iteration loop as a
+plain :class:`~repro.testing.engine.TestingEngine`
+(:func:`~repro.testing.engine.drive`), constructs its strategy from its
+picklable spec via the strategy-factory registry, and reports a
+*detached* (picklable) :class:`~repro.testing.engine.TestReport` back.
+The first worker to find a bug wins: a shared cancellation event stops
+the others (polled between iterations and inside long ones), and the
+winner's :class:`~repro.testing.trace.ScheduleTrace` replays
+deterministically in the parent via :func:`repro.testing.engine.replay`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..core.machine import Machine
+from ..errors import PSharpError
+from .engine import TestReport, drive, replay
+from .runtime import ExecutionResult
+from .strategies import (
+    DelayBoundingStrategy,
+    DfsStrategy,
+    IterativeDeepeningDfsStrategy,
+    PctStrategy,
+    RandomStrategy,
+    SchedulingStrategy,
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategy specs + factory registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StrategySpec:
+    """A picklable recipe for constructing a scheduling strategy.
+
+    Workers build strategies from specs instead of receiving live strategy
+    objects: strategies hold RNGs and mutable search state that must start
+    fresh in the worker, and some (DFS stacks) are not meaningfully
+    picklable anyway.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        # The auto-generated frozen-dataclass hash would raise on the dict
+        # field; specs are natural set/dict-key material, so hash by value.
+        return hash((self.name, tuple(sorted(self.params.items()))))
+
+    def build(self) -> SchedulingStrategy:
+        return make_strategy(self)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}({inner})"
+
+
+StrategyFactory = Callable[..., SchedulingStrategy]
+
+_STRATEGY_FACTORIES: Dict[str, StrategyFactory] = {
+    "random": RandomStrategy,
+    "dfs": DfsStrategy,
+    "iddfs": IterativeDeepeningDfsStrategy,
+    "pct": PctStrategy,
+    "delay-bounding": DelayBoundingStrategy,
+}
+
+
+def register_strategy(name: str, factory: StrategyFactory) -> None:
+    """Register a custom strategy factory under ``name`` so portfolio specs
+    can refer to it."""
+    _STRATEGY_FACTORIES[name] = factory
+
+
+def strategy_names() -> List[str]:
+    return sorted(_STRATEGY_FACTORIES)
+
+
+def make_strategy(spec: StrategySpec) -> SchedulingStrategy:
+    try:
+        factory = _STRATEGY_FACTORIES[spec.name]
+    except KeyError:
+        raise PSharpError(
+            f"unknown strategy {spec.name!r}; known: {', '.join(strategy_names())}"
+        ) from None
+    return factory(**spec.params)
+
+
+# The diverse default mix the portfolio cycles through: a fair random
+# sampler, PCT at several priority-change budgets, delay-bounding at
+# several delay budgets, and iterative-deepening DFS for the systematic
+# shallow sweep (ISSUE: "random, PCT with varied priority-change budgets,
+# delay-bounding with varied delay budgets, iterative-deepening DFS").
+_DEFAULT_TEMPLATES: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("random", {}),
+    ("pct", {"depth": 3}),
+    ("delay-bounding", {"delays": 2}),
+    ("iddfs", {}),
+    ("pct", {"depth": 10}),
+    ("delay-bounding", {"delays": 4}),
+    ("pct", {"depth": 20}),
+    ("delay-bounding", {"delays": 8}),
+)
+
+_SEEDED = {"random", "pct", "delay-bounding"}
+
+
+def default_portfolio(workers: int, seed: Optional[int] = None) -> List[StrategySpec]:
+    """``workers`` specs cycling through the default strategy mix, with
+    distinct derived seeds so same-named workers explore differently."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    # An unseeded portfolio must vary across runs (like an unseeded
+    # RandomStrategy), not silently behave as seed=0.
+    base_seed = seed if seed is not None else random.randrange(2**31)
+    specs = []
+    for index in range(workers):
+        name, params = _DEFAULT_TEMPLATES[index % len(_DEFAULT_TEMPLATES)]
+        params = dict(params)
+        if name in _SEEDED:
+            params["seed"] = base_seed * 10_007 + index
+        specs.append(StrategySpec(name, params))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+def _portfolio_worker(
+    index: int,
+    spec: StrategySpec,
+    main_cls: Type[Machine],
+    payload: Any,
+    config: Dict[str, Any],
+    deadline: float,
+    cancel: Any,  # multiprocessing.Event
+    results: Any,  # multiprocessing.Queue
+) -> None:
+    """Run one strategy's shard of the campaign; always report back."""
+    try:
+        strategy = make_strategy(spec)
+        report = drive(
+            main_cls,
+            payload,
+            strategy,
+            max_iterations=config["max_iterations"],
+            time_limit=None,
+            max_steps=config["max_steps"],
+            stop_on_first_bug=config["stop_on_first_bug"],
+            livelock_as_bug=config["livelock_as_bug"],
+            record_traces=True,
+            deadline=deadline,
+            stop_check=cancel.is_set,
+        )
+        if config["stop_on_first_bug"] and report.first_bug is not None:
+            cancel.set()
+        results.put((index, report.detached()))
+    except Exception as exc:  # noqa: BLE001 - never strand the parent
+        results.put((index, TestReport(strategy=spec.label())))
+        raise SystemExit(f"portfolio worker {index} ({spec.label()}) failed: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# The portfolio engine
+# ---------------------------------------------------------------------------
+class PortfolioEngine:
+    """Shard a bug-finding campaign across a pool of strategy workers.
+
+    Each spec in ``specs`` becomes one worker process running
+    ``max_iterations`` schedules (the per-worker shard) within the shared
+    ``time_limit``.  With ``stop_on_first_bug`` (the default) the first
+    worker to find a bug cancels the rest; the campaign report's
+    ``first_bug`` is that winner's, its trace ready for deterministic
+    replay in this process via :meth:`replay_winner`.
+
+    A 1-spec portfolio is behaviourally identical to a
+    :class:`~repro.testing.engine.TestingEngine` run with that strategy —
+    both execute :func:`~repro.testing.engine.drive`.
+    """
+
+    __test__ = False
+
+    #: extra seconds granted after the deadline/cancellation for workers
+    #: to flush their final reports before being terminated.
+    grace = 10.0
+
+    def __init__(
+        self,
+        main_cls: Type[Machine],
+        payload: Any = None,
+        *,
+        specs: Optional[Sequence[StrategySpec]] = None,
+        workers: Optional[int] = None,
+        seed: Optional[int] = None,
+        max_iterations: int = 10_000,
+        time_limit: float = 300.0,
+        max_steps: int = 20_000,
+        stop_on_first_bug: bool = True,
+        livelock_as_bug: bool = False,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if specs is None:
+            specs = default_portfolio(workers if workers is not None else 4, seed)
+        elif workers is not None and workers != len(specs):
+            raise ValueError("pass either specs or workers, not conflicting both")
+        if not specs:
+            raise ValueError("portfolio needs at least one strategy spec")
+        self.main_cls = main_cls
+        self.payload = payload
+        self.specs = [
+            spec if isinstance(spec, StrategySpec) else StrategySpec(*spec)
+            for spec in specs
+        ]
+        for spec in self.specs:
+            # Fail fast in the parent: a typo'd strategy name or parameter
+            # must raise here, not silently produce an empty worker shard.
+            make_strategy(spec)
+        self.max_iterations = max_iterations
+        self.time_limit = time_limit
+        self.max_steps = max_steps
+        self.stop_on_first_bug = stop_on_first_bug
+        self.livelock_as_bug = livelock_as_bug
+        if start_method is None:
+            # fork shares the already-imported program modules with workers;
+            # fall back to the platform default elsewhere.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.last_report: Optional[TestReport] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> TestReport:
+        ctx = multiprocessing.get_context(self.start_method)
+        cancel = ctx.Event()
+        results = ctx.Queue()
+        deadline = time.monotonic() + self.time_limit
+        config = {
+            "max_iterations": self.max_iterations,
+            "max_steps": self.max_steps,
+            "stop_on_first_bug": self.stop_on_first_bug,
+            "livelock_as_bug": self.livelock_as_bug,
+        }
+        processes = []
+        wall_start = time.perf_counter()
+        for index, spec in enumerate(self.specs):
+            process = ctx.Process(
+                target=_portfolio_worker,
+                args=(
+                    index, spec, self.main_cls, self.payload, config,
+                    deadline, cancel, results,
+                ),
+                daemon=True,
+                name=f"portfolio-{index}-{spec.name}",
+            )
+            processes.append(process)
+            process.start()
+
+        collected: Dict[int, TestReport] = {}
+        winner_index: Optional[int] = None
+        hard_stop = deadline + self.grace
+        while len(collected) < len(self.specs):
+            budget = hard_stop - time.monotonic()
+            if budget <= 0:
+                break
+            try:
+                index, report = results.get(timeout=min(budget, 0.25))
+            except queue_module.Empty:
+                if all(not p.is_alive() for p in processes) and results.empty():
+                    break
+                continue
+            collected[index] = report
+            if (
+                winner_index is None
+                and report.first_bug is not None
+                and self.stop_on_first_bug
+            ):
+                winner_index = index
+                cancel.set()
+                # The rest will stop at their next poll; give them only a
+                # short flush window instead of the full remaining budget.
+                hard_stop = min(hard_stop, time.monotonic() + self.grace)
+
+        cancel.set()
+        for process in processes:
+            process.join(timeout=1.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        # Late flushes can still land after the loop gave up on a worker.
+        while len(collected) < len(self.specs):
+            try:
+                index, report = results.get_nowait()
+            except queue_module.Empty:
+                break
+            collected.setdefault(index, report)
+        results.close()
+
+        ordered = []
+        for index, spec in enumerate(self.specs):
+            report = collected.get(index)
+            if report is None:
+                # Worker died or missed the flush window: contribute an
+                # empty shard so the merge arithmetic stays honest.
+                report = TestReport(strategy=spec.label())
+            if report.strategy != spec.label():
+                report.strategy = spec.label()
+            ordered.append(report)
+
+        campaign = TestReport.merged(ordered, strategy="portfolio")
+        campaign.elapsed = time.perf_counter() - wall_start
+        if winner_index is not None:
+            winning = collected[winner_index]
+            campaign.first_bug = winning.first_bug
+            campaign.first_bug_iteration = winning.first_bug_iteration
+        self.last_report = campaign
+        return campaign
+
+    # ------------------------------------------------------------------
+    def replay_winner(
+        self, report: Optional[TestReport] = None
+    ) -> Optional[ExecutionResult]:
+        """Replay the campaign-winning schedule in *this* process.
+
+        Returns the replay's :class:`ExecutionResult`, or None when the
+        campaign found no bug (or recorded no trace)."""
+        report = report if report is not None else self.last_report
+        if report is None or report.first_bug is None or report.first_bug.trace is None:
+            return None
+        return replay(
+            self.main_cls,
+            report.first_bug.trace,
+            payload=self.payload,
+            max_steps=self.max_steps,
+            livelock_as_bug=self.livelock_as_bug,
+        )

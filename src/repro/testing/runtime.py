@@ -18,9 +18,10 @@ thread is runnable at any moment, so runtime state needs no locking.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional, Type
 
 from ..core.events import Event, MachineId
 from ..core.machine import Machine
@@ -49,7 +50,7 @@ class _WorkerState(Enum):
 class ExecutionResult:
     """Outcome of a single controlled execution (one schedule)."""
 
-    status: str  # "ok" | "bug" | "depth-bound"
+    status: str  # "ok" | "bug" | "depth-bound" | "time-bound" | "stopped"
     steps: int
     scheduling_points: int
     trace: Optional[ScheduleTrace]
@@ -84,7 +85,20 @@ class BugFindingRuntime(RuntimeBase):
         German-benchmark livelock).
     record_trace:
         Record every decision so a found bug can be replayed.
+    deadline:
+        Absolute ``time.monotonic()`` deadline.  Unlike the engine's
+        per-iteration time-limit check, this cuts off an execution *mid
+        schedule* (status ``"time-bound"``), so a single long iteration
+        cannot blow past the campaign budget.
+    stop_check:
+        Polled periodically; when it returns True the execution aborts
+        with status ``"stopped"``.  Portfolio workers pass the shared
+        first-bug-wins cancellation event here.
     """
+
+    # How many scheduling steps between deadline/stop_check polls: the
+    # checks must not dominate the hot handoff path.
+    _POLL_MASK = 31
 
     def __init__(
         self,
@@ -92,12 +106,16 @@ class BugFindingRuntime(RuntimeBase):
         max_steps: int = 20_000,
         record_trace: bool = True,
         livelock_as_bug: bool = False,
+        deadline: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> None:
         super().__init__()
         self.strategy = strategy
         self.max_steps = max_steps
         self.record_trace = record_trace
         self.livelock_as_bug = livelock_as_bug
+        self.deadline = deadline
+        self.stop_check = stop_check
 
         self._workers: Dict[MachineId, _Worker] = {}
         self._creation_order: List[MachineId] = []
@@ -296,6 +314,15 @@ class BugFindingRuntime(RuntimeBase):
 
     def _count_step(self) -> None:
         self._steps += 1
+        if (self.deadline is not None or self.stop_check is not None) and (
+            self._steps & self._POLL_MASK == 0
+        ):
+            if self.deadline is not None and time.monotonic() >= self.deadline:
+                self._finish("time-bound")
+                raise ExecutionCanceled()
+            if self.stop_check is not None and self.stop_check():
+                self._finish("stopped")
+                raise ExecutionCanceled()
         if self._steps > self.max_steps:
             if self.livelock_as_bug:
                 self._report_bug(

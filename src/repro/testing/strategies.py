@@ -76,6 +76,10 @@ class DfsStrategy(SchedulingStrategy):
         self._cursor = 0
         self._started = False
         self._max_depth = max_depth
+        # True once any execution ran past the depth cap: the exploration
+        # below the cap is then incomplete (iterative deepening keys off
+        # this to decide whether deepening can uncover anything new).
+        self.depth_cap_hit = False
 
     def prepare_iteration(self) -> bool:
         if not self._started:
@@ -98,6 +102,7 @@ class DfsStrategy(SchedulingStrategy):
         if self._cursor >= self._max_depth:
             # Beyond the depth cap the search degenerates to "first branch";
             # the runtime's step bound terminates such runs.
+            self.depth_cap_hit = True
             self._cursor += 1
             return 0
         if self._cursor == len(self._stack):
@@ -119,6 +124,51 @@ class DfsStrategy(SchedulingStrategy):
 
     def pick_int(self, bound: int) -> int:
         return self._choose(bound)
+
+
+class IterativeDeepeningDfsStrategy(SchedulingStrategy):
+    """Iterative-deepening DFS: restart the systematic search with a
+    geometrically growing depth cap.
+
+    Shallow bugs are found with DFS's exhaustiveness but without first
+    drowning in the deep subtrees a plain DFS would enumerate — the
+    classic IDDFS trade, here applied to the schedule tree.  Deepening
+    stops once a full pass never hits the cap (the tree is finite and
+    fully explored) or the cap reaches ``max_depth``.
+    """
+
+    name = "iddfs"
+
+    def __init__(
+        self, initial_depth: int = 8, factor: int = 2, max_depth: int = 100_000
+    ) -> None:
+        if initial_depth < 1 or factor < 2:
+            raise ValueError("initial_depth must be >= 1 and factor >= 2")
+        self._initial_depth = initial_depth
+        self._factor = factor
+        self._max_depth = max_depth
+        self.depth = initial_depth
+        self._dfs = DfsStrategy(max_depth=initial_depth)
+
+    def prepare_iteration(self) -> bool:
+        if self._dfs.prepare_iteration():
+            return True
+        if not self._dfs.depth_cap_hit or self.depth >= self._max_depth:
+            return False
+        self.depth = min(self.depth * self._factor, self._max_depth)
+        self._dfs = DfsStrategy(max_depth=self.depth)
+        return self._dfs.prepare_iteration()
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        return self._dfs.pick_machine(enabled, current)
+
+    def pick_bool(self) -> bool:
+        return self._dfs.pick_bool()
+
+    def pick_int(self, bound: int) -> int:
+        return self._dfs.pick_int(bound)
 
 
 class RandomStrategy(SchedulingStrategy):

@@ -1,0 +1,1 @@
+"""Test suite package (enables the relative imports in the test modules)."""

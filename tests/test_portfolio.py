@@ -1,0 +1,271 @@
+"""Tests for the parallel portfolio engine, strategy specs and report
+merging."""
+
+import pickle
+
+import pytest
+
+from repro import (
+    BugReport,
+    IterativeDeepeningDfsStrategy,
+    PortfolioEngine,
+    RandomStrategy,
+    ScheduleTrace,
+    StrategySpec,
+    TestingEngine,
+    TestReport,
+    default_portfolio,
+    make_strategy,
+    register_strategy,
+    replay,
+)
+from repro.errors import PSharpError
+from repro.testing.portfolio import strategy_names
+
+from .machines import NondetBug, Ping, RacyCounter
+
+
+class TestStrategyRegistry:
+    def test_specs_build_registered_strategies(self):
+        strategy = make_strategy(StrategySpec("random", {"seed": 3}))
+        assert isinstance(strategy, RandomStrategy)
+        assert StrategySpec("iddfs").build().name == "iddfs"
+
+    def test_unknown_strategy_name_raises(self):
+        with pytest.raises(PSharpError, match="unknown strategy"):
+            make_strategy(StrategySpec("simulated-annealing"))
+
+    def test_custom_strategies_can_be_registered(self):
+        register_strategy("my-random", RandomStrategy)
+        try:
+            assert "my-random" in strategy_names()
+            strategy = make_strategy(StrategySpec("my-random", {"seed": 9}))
+            assert isinstance(strategy, RandomStrategy)
+        finally:
+            from repro.testing.portfolio import _STRATEGY_FACTORIES
+
+            del _STRATEGY_FACTORIES["my-random"]
+
+    def test_specs_are_picklable(self):
+        spec = StrategySpec("pct", {"depth": 3, "seed": 1})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_specs_are_hashable_by_value(self):
+        a = StrategySpec("pct", {"depth": 3, "seed": 1})
+        b = StrategySpec("pct", {"seed": 1, "depth": 3})
+        c = StrategySpec("pct", {"depth": 4, "seed": 1})
+        assert {a, b, c} == {a, c}
+
+    def test_default_portfolio_is_diverse_and_seeded(self):
+        specs = default_portfolio(6, seed=11)
+        assert len(specs) == 6
+        # Diversity: at least three distinct strategy kinds in a 6-pack.
+        assert len({spec.name for spec in specs}) >= 3
+        # Same-named workers must not duplicate each other's search.
+        seeds = [spec.params["seed"] for spec in specs if "seed" in spec.params]
+        assert len(seeds) == len(set(seeds))
+
+    def test_unseeded_portfolio_varies_across_runs(self):
+        first = default_portfolio(2)
+        second = default_portfolio(2)
+        assert first != second  # fresh entropy, like an unseeded RandomStrategy
+
+    def test_default_portfolio_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            default_portfolio(0)
+
+
+class TestIterativeDeepeningDfs:
+    def test_finds_shallow_nondet_bug(self):
+        engine = TestingEngine(
+            NondetBug,
+            strategy=IterativeDeepeningDfsStrategy(initial_depth=2),
+            max_iterations=100,
+        )
+        report = engine.run()
+        assert report.bug_found
+
+    def test_exhausts_finite_space_without_deepening_forever(self):
+        engine = TestingEngine(
+            Ping,
+            strategy=IterativeDeepeningDfsStrategy(initial_depth=4),
+            max_iterations=10_000,
+            time_limit=60,
+        )
+        report = engine.run()
+        assert not report.bug_found
+        assert report.exhausted
+
+
+class TestReportMerging:
+    def _report(self, **kwargs):
+        defaults = dict(strategy="s", iterations=0)
+        defaults.update(kwargs)
+        return TestReport(**defaults)
+
+    def test_merge_arithmetic(self):
+        a = self._report(
+            strategy="a", iterations=10, buggy_iterations=2, depth_bound_hits=1,
+            total_steps=100, total_scheduling_points=50, max_machines=3,
+            elapsed=2.0,
+        )
+        b = self._report(
+            strategy="b", iterations=20, buggy_iterations=1, depth_bound_hits=0,
+            total_steps=300, total_scheduling_points=80, max_machines=5,
+            elapsed=1.5,
+        )
+        merged = TestReport.merged([a, b])
+        assert merged.iterations == 30
+        assert merged.buggy_iterations == 3
+        assert merged.depth_bound_hits == 1
+        assert merged.total_steps == 400
+        assert merged.total_scheduling_points == 130
+        assert merged.max_machines == 5
+        # Concurrent work: wall-clock, not the sum.
+        assert merged.elapsed == 2.0
+        assert merged.schedules_per_second == 30 / 2.0
+        assert merged.sub_reports == [a, b]
+
+    def test_merge_keeps_fold_order_first_bug(self):
+        bug_a = BugReport(kind="assertion-failure", message="a")
+        bug_b = BugReport(kind="liveness", message="b")
+        first = self._report(first_bug=None)
+        second = self._report(first_bug=bug_a, first_bug_iteration=4, bugs=[bug_a])
+        third = self._report(first_bug=bug_b, first_bug_iteration=1, bugs=[bug_b])
+        merged = TestReport.merged([first, second, third])
+        assert merged.first_bug is bug_a
+        assert merged.first_bug_iteration == 4
+        assert merged.bugs == [bug_a, bug_b]
+
+    def test_merged_exhausted_requires_all_workers_exhausted(self):
+        done = self._report(exhausted=True)
+        ongoing = self._report(exhausted=False)
+        assert TestReport.merged([done, done]).exhausted
+        assert not TestReport.merged([done, ongoing]).exhausted
+        assert not TestReport.merged([]).exhausted
+
+    def test_detached_report_is_picklable_and_keeps_trace(self):
+        engine = TestingEngine(
+            RacyCounter, strategy=RandomStrategy(seed=3), max_iterations=500
+        )
+        report = engine.run()
+        assert report.bug_found
+        detached = report.detached()
+        restored = pickle.loads(pickle.dumps(detached))
+        assert restored.iterations == report.iterations
+        assert restored.first_bug.kind == report.first_bug.kind
+        assert isinstance(restored.first_bug.machine, str)
+        assert restored.first_bug.trace.decisions == report.first_bug.trace.decisions
+
+
+class TestPortfolioEngine:
+    def test_first_bug_wins_cancels_other_workers(self):
+        # One worker finds the ordering bug fast; the other (iddfs, which
+        # explores systematically) would otherwise grind through its whole
+        # 100k-iteration shard.  Cancellation must cut it short.
+        engine = PortfolioEngine(
+            RacyCounter,
+            specs=[
+                StrategySpec("random", {"seed": 1}),
+                StrategySpec("iddfs", {}),
+            ],
+            max_iterations=100_000,
+            time_limit=60,
+            max_steps=2_000,
+        )
+        report = engine.run()
+        assert report.bug_found
+        assert report.first_bug is not None
+        assert len(report.sub_reports) == 2
+        assert all(sub.iterations < 100_000 for sub in report.sub_reports)
+
+    def test_winning_trace_replays_to_same_bug(self):
+        engine = PortfolioEngine(
+            RacyCounter,
+            specs=default_portfolio(3, seed=5),
+            max_iterations=2_000,
+            time_limit=60,
+            max_steps=2_000,
+        )
+        report = engine.run()
+        assert report.first_bug is not None
+        assert isinstance(report.first_bug.trace, ScheduleTrace)
+
+        # Replay in the parent process: same bug type, same message.
+        result = replay(RacyCounter, report.first_bug.trace, max_steps=2_000)
+        assert result.buggy
+        assert result.bug.kind == report.first_bug.kind
+        assert result.bug.message == report.first_bug.message
+
+        # The engine's convenience wrapper does the same.
+        again = engine.replay_winner(report)
+        assert again is not None and again.bug.kind == report.first_bug.kind
+
+    def test_one_worker_portfolio_matches_testing_engine(self):
+        # A 1-worker portfolio runs the exact driver loop TestingEngine
+        # runs; with the same seeded strategy the exploration statistics
+        # must match field for field.
+        kwargs = dict(max_iterations=60, max_steps=2_000, stop_on_first_bug=False)
+        single = TestingEngine(
+            RacyCounter, strategy=RandomStrategy(seed=42), time_limit=60, **kwargs
+        ).run()
+        portfolio = PortfolioEngine(
+            RacyCounter,
+            specs=[StrategySpec("random", {"seed": 42})],
+            time_limit=60,
+            **kwargs,
+        ).run()
+        assert len(portfolio.sub_reports) == 1
+        shard = portfolio.sub_reports[0]
+        assert shard.iterations == single.iterations
+        assert shard.buggy_iterations == single.buggy_iterations
+        assert shard.total_steps == single.total_steps
+        assert shard.total_scheduling_points == single.total_scheduling_points
+        assert shard.max_machines == single.max_machines
+        assert portfolio.iterations == single.iterations
+
+    def test_no_bug_campaign_reports_all_shards(self):
+        engine = PortfolioEngine(
+            Ping,
+            specs=[
+                StrategySpec("random", {"seed": 0}),
+                StrategySpec("delay-bounding", {"seed": 0, "delays": 2}),
+            ],
+            max_iterations=25,
+            time_limit=60,
+            max_steps=2_000,
+        )
+        report = engine.run()
+        assert not report.bug_found
+        assert report.first_bug is None
+        assert report.iterations == 50
+        assert [s.iterations for s in report.sub_reports] == [25, 25]
+        assert engine.replay_winner(report) is None
+
+    def test_deadline_bounds_the_campaign(self):
+        engine = PortfolioEngine(
+            RacyCounter,
+            specs=default_portfolio(2, seed=1),
+            max_iterations=10_000_000,
+            time_limit=1.0,
+            max_steps=2_000,
+            stop_on_first_bug=False,
+        )
+        report = engine.run()
+        # Workers must stop at the shared deadline, not at the iteration cap.
+        assert report.elapsed < 30.0
+        assert all(sub.iterations < 10_000_000 for sub in report.sub_reports)
+
+    def test_rejects_empty_and_conflicting_configs(self):
+        with pytest.raises(ValueError):
+            PortfolioEngine(Ping, specs=[])
+        with pytest.raises(ValueError):
+            PortfolioEngine(Ping, specs=default_portfolio(2), workers=3)
+
+    def test_bad_specs_fail_fast_in_the_parent(self):
+        # A typo'd strategy name or parameter must raise at construction,
+        # not silently produce an empty worker shard at run() time.
+        with pytest.raises(PSharpError, match="unknown strategy"):
+            PortfolioEngine(Ping, specs=[StrategySpec("randm", {})])
+        with pytest.raises(TypeError):
+            PortfolioEngine(Ping, specs=[StrategySpec("pct", {"depht": 3})])

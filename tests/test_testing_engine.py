@@ -180,6 +180,70 @@ class TestOtherStrategies:
         assert not strategy.prepare_iteration()
 
 
+class TestReportStatistics:
+    def test_max_machines_reflects_spawned_machines(self):
+        # Regression: the engine used to record the per-iteration machine
+        # count but never fold it into the report, so Table 2's #T column
+        # was always 0.
+        engine = TestingEngine(
+            Ping, strategy=RandomStrategy(seed=0), max_iterations=5,
+            stop_on_first_bug=False, time_limit=30,
+        )
+        report = engine.run()
+        assert report.max_machines == 2  # Ping + Pong
+
+        engine = TestingEngine(
+            RacyCounter, strategy=RandomStrategy(seed=0), max_iterations=5,
+            stop_on_first_bug=False, time_limit=30,
+        )
+        assert engine.run().max_machines == 3  # parent + two incrementers
+
+
+class TestTimeLimit:
+    def test_time_limit_cuts_off_mid_iteration(self):
+        # Regression: the time limit used to be checked only between
+        # iterations, so one long (here: infinite up to max_steps) schedule
+        # could overshoot the budget arbitrarily.  With an effectively
+        # unbounded step budget the engine must still return promptly.
+        engine = TestingEngine(
+            SelfLoop,
+            strategy=RandomStrategy(seed=0),
+            max_iterations=10,
+            time_limit=0.3,
+            max_steps=10**9,
+        )
+        report = engine.run()
+        assert report.elapsed < 10.0
+        assert report.timed_out
+        # The cut-off partial schedule is not counted as an explored one...
+        assert report.iterations == 0
+        # ...but the work it did is still visible in the step counters.
+        assert report.total_steps > 0
+
+    def test_runtime_reports_time_bound_status(self):
+        import time as time_module
+
+        from repro.testing.runtime import BugFindingRuntime as Runtime
+
+        strategy = RandomStrategy(seed=0)
+        strategy.prepare_iteration()
+        runtime = Runtime(
+            strategy, max_steps=10**9,
+            deadline=time_module.monotonic() + 0.1,
+        )
+        result = runtime.execute(SelfLoop)
+        assert result.status == "time-bound"
+
+    def test_runtime_stop_check_aborts_execution(self):
+        from repro.testing.runtime import BugFindingRuntime as Runtime
+
+        strategy = RandomStrategy(seed=0)
+        strategy.prepare_iteration()
+        runtime = Runtime(strategy, max_steps=10**9, stop_check=lambda: True)
+        result = runtime.execute(SelfLoop)
+        assert result.status == "stopped"
+
+
 class TestSchedulingPointCounts:
     def test_scheduling_points_counted(self):
         strategy = RandomStrategy(seed=0)
