@@ -55,6 +55,16 @@ class ChessRuntime(BugFindingRuntime):
         self._writes: Dict[Tuple[int, str], Tuple[int, _VectorClock]] = {}
         self._reads: Dict[Tuple[int, str], List[Tuple[int, _VectorClock]]] = {}
 
+    def reset(self) -> None:
+        super().reset()
+        # Per-execution race-detection state (the runtime is reused across
+        # iterations by the engine; clocks must not leak between them).
+        self.races = []
+        self._clocks = {}
+        self._event_clocks = {}
+        self._writes = {}
+        self._reads = {}
+
     # ------------------------------------------------------------------
     def execute(self, main_cls, payload=None):
         Machine._field_access_hook = self._on_field_access

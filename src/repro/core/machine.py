@@ -34,6 +34,8 @@ restriction that "actions ... must be sequential".
 
 from __future__ import annotations
 
+import inspect
+import types
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Type
@@ -58,13 +60,30 @@ class State:
     initial: bool = False
 
 
-@dataclass
+# Event dispositions, precomputed per (state, event class).  Ordered so
+# that "deliverable" is a single comparison: codes <= DISP_HALT deliver.
+DISP_ACTION = 0
+DISP_TRANSITION = 1
+DISP_HALT = 2
+DISP_DEFER = 3
+DISP_IGNORE = 4
+DISP_UNHANDLED = 5
+
+
+@dataclass(slots=True)
 class StateInfo:
     """Preprocessed description of one state of a machine.
 
     The runtime "preprocesses each registered machine to build a
     machine-specific map from states to state transitions and action
     bindings" (Section 6.1); this is that map's entry.
+
+    Beyond the declarative maps, each StateInfo carries the *compiled*
+    dispatch for its machine class: entry/exit/action names resolved to
+    functions at class-preprocess time, transition targets resolved to
+    their ``StateInfo`` objects, and a memoized ``event class ->
+    (disposition, payload)`` table, so the per-event hot path does zero
+    ``getattr`` and a single dict probe.
     """
 
     name: str
@@ -75,6 +94,14 @@ class StateInfo:
     deferred: frozenset
     ignored: frozenset
     initial: bool = False
+    # Compiled by _link_states (after validation):
+    owner: Optional[type] = None
+    entry_fn: Optional[Callable] = None
+    exit_fn: Optional[Callable] = None
+    # event class -> (DISP_* code, payload); payload is the bound-to-class
+    # action function for DISP_ACTION, the target StateInfo for
+    # DISP_TRANSITION, None otherwise.
+    dispatch: Dict[type, tuple] = field(default_factory=dict)
 
     def handles(self, event_cls: Type[Event]) -> bool:
         return event_cls in self.transitions or event_cls in self.actions
@@ -84,6 +111,34 @@ class StateInfo:
 
     def ignores(self, event_cls: Type[Event]) -> bool:
         return event_cls in self.ignored
+
+    def disposition(self, event_cls: type) -> tuple:
+        """Memoized disposition of ``event_cls`` in this state.
+
+        Precedence mirrors the historical ``_deliverable_index`` checks:
+        Halt always delivers, then ignored, deferred, and handlers.
+        """
+        disp = self.dispatch.get(event_cls)
+        if disp is None:
+            disp = self._compute_disposition(event_cls)
+            self.dispatch[event_cls] = disp
+        return disp
+
+    def _compute_disposition(self, event_cls: type) -> tuple:
+        if issubclass(event_cls, Halt):
+            return (DISP_HALT, None)
+        if event_cls in self.ignored:
+            return (DISP_IGNORE, None)
+        if event_cls in self.deferred:
+            return (DISP_DEFER, None)
+        # Declared handlers are pre-seeded by _link_states; these probes
+        # only matter for StateInfos inspected outside a linked machine.
+        if event_cls in self.actions and self.owner is not None:
+            return (
+                DISP_ACTION,
+                _resolve_handler(self.owner, self.actions[event_cls]),
+            )
+        return (DISP_UNHANDLED, None)
 
 
 def _collect_states(cls: type) -> Dict[str, StateInfo]:
@@ -155,6 +210,51 @@ def _validate_machine(cls: type, states: Dict[str, StateInfo]) -> str:
     return initials[0]
 
 
+def _resolve_handler(cls: type, name: str) -> Callable:
+    """Resolve handler ``name`` to a callable invoked as ``fn(machine)``.
+
+    Plain methods (the overwhelmingly common case) resolve to the raw
+    function, so the hot path calls it directly with the machine as
+    ``self``.  Anything else — staticmethods, classmethods, stored
+    callables — keeps the historical ``getattr(self, name)()`` semantics
+    through a late-binding shim.
+    """
+    raw = inspect.getattr_static(cls, name, None)
+    if isinstance(raw, types.FunctionType):
+        return raw
+
+    def shim(machine: "Machine") -> Any:
+        return getattr(machine, name)()
+
+    return shim
+
+
+def _link_states(cls: type, states: Dict[str, StateInfo]) -> None:
+    """Compile the per-state dispatch for ``cls``.
+
+    Resolves handler *names* to callables once per class (instead of a
+    ``getattr`` per event), links transition targets to their
+    ``StateInfo`` objects, and seeds the memoized disposition table.
+    Precedence in the seeded table matches the historical per-event
+    checks: Halt beats everything, ignored beats deferred beats handlers.
+    """
+    for info in states.values():
+        info.owner = cls
+        info.entry_fn = _resolve_handler(cls, info.entry) if info.entry else None
+        info.exit_fn = _resolve_handler(cls, info.exit) if info.exit else None
+        dispatch: Dict[type, tuple] = {}
+        for evt, action in info.actions.items():
+            dispatch[evt] = (DISP_ACTION, _resolve_handler(cls, action))
+        for evt, target in info.transitions.items():
+            dispatch[evt] = (DISP_TRANSITION, states[target])
+        for evt in info.deferred:
+            dispatch[evt] = (DISP_DEFER, None)
+        for evt in info.ignored:
+            dispatch[evt] = (DISP_IGNORE, None)
+        dispatch[Halt] = (DISP_HALT, None)
+        info.dispatch = dispatch
+
+
 class Machine:
     """Abstract base class of all P# machines.
 
@@ -174,11 +274,27 @@ class Machine:
     # CHESS-style baseline to schedule at memory-access granularity.
     _field_access_hook: Optional[Callable[["Machine", str, bool], None]] = None
 
+    # The runtime-internal attributes live in __slots__ for fast access;
+    # "__dict__" stays in the layout so user machine subclasses can keep
+    # assigning arbitrary fields in their actions.
+    __slots__ = (
+        "_runtime",
+        "_id",
+        "_inbox",
+        "_current_state",
+        "_current_event",
+        "_raised",
+        "_halted",
+        "__dict__",
+        "__weakref__",
+    )
+
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
         states = _collect_states(cls)
         if states:  # allow abstract intermediates with no states yet
             cls._initial_state = _validate_machine(cls, states)
+            _link_states(cls, states)
         cls._state_infos = states
 
     def __init__(self, runtime: Any, mid: MachineId) -> None:
@@ -289,20 +405,20 @@ class Machine:
         """
         state = self._current_state
         assert state is not None
+        disposition = state.disposition
+        inbox = self._inbox
         i = 0
-        while i < len(self._inbox):
-            event = self._inbox[i]
-            cls = type(event)
-            if cls is Halt:
+        while i < len(inbox):
+            event = inbox[i]
+            code = disposition(type(event))[0]
+            if code <= DISP_HALT:  # action, transition or halt: deliverable
                 return i
-            if state.ignores(cls):
-                del self._inbox[i]
-                continue
-            if state.defers(cls):
+            if code == DISP_DEFER:
                 i += 1
                 continue
-            if state.handles(cls):
-                return i
+            if code == DISP_IGNORE:
+                del inbox[i]
+                continue
             raise UnhandledEventError(self, state.name, event)
         return None
 
@@ -332,34 +448,38 @@ class Machine:
                 return False
             event = self._inbox[index]
             del self._inbox[index]
-            self._runtime.on_event_dequeued(self, event)
+            runtime = self._runtime
+            if runtime._hook_dequeued:
+                runtime.on_event_dequeued(self, event)
         self._handle(event)
         return True
 
     def _handle(self, event: Event) -> None:
         state = self._current_state
         assert state is not None
-        if isinstance(event, Halt):
-            self._do_halt()
-            return
-        cls = type(event)
-        if cls in state.actions:
+        code, payload = state.disposition(type(event))
+        if code == DISP_ACTION:
             self._current_event = event
-            getattr(self, state.actions[cls])()
-        elif cls in state.transitions:
-            self._transition_to(state.transitions[cls], event)
-        else:  # pragma: no cover - guarded by _deliverable_index
+            payload(self)
+        elif code == DISP_TRANSITION:
+            self._enter(payload, event)
+        elif code == DISP_HALT:
+            self._do_halt()
+        else:
             raise UnhandledEventError(self, state.name, event)
 
-    def _transition_to(self, state_name: str, event: Optional[Event]) -> None:
+    def _enter(self, info: StateInfo, event: Optional[Event]) -> None:
         old = self._current_state
-        if old is not None and old.exit is not None:
-            getattr(self, old.exit)()
-        new = self._state_infos[state_name]
-        self._current_state = new
+        if old is not None and old.exit_fn is not None:
+            old.exit_fn(self)
+        self._current_state = info
         self._current_event = event
-        if new.entry is not None:
-            getattr(self, new.entry)()
+        entry_fn = info.entry_fn
+        if entry_fn is not None:
+            entry_fn(self)
+
+    def _transition_to(self, state_name: str, event: Optional[Event]) -> None:
+        self._enter(self._state_infos[state_name], event)
 
     def _do_halt(self) -> None:
         self._halted = True

@@ -30,6 +30,11 @@ class RuntimeBase:
         self._next_id = 0
         self._error: Optional[BaseException] = None
         self._log_sink: Optional[Callable[[str], None]] = None
+        # Precomputed so machines can skip the no-op dequeue hook call on
+        # the hot path; True only for runtimes that override it (CHESS).
+        self._hook_dequeued = (
+            type(self).on_event_dequeued is not RuntimeBase.on_event_dequeued
+        )
 
     # -- registry -------------------------------------------------------
     def _allocate_id(self, machine_cls: Type[Machine]) -> MachineId:

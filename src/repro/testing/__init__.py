@@ -9,7 +9,12 @@ from .portfolio import (
     register_strategy,
     strategy_names,
 )
-from .runtime import BugFindingRuntime, ExecutionResult
+from .runtime import (
+    BugFindingRuntime,
+    ExecutionResult,
+    WorkerPool,
+    shared_worker_pool,
+)
 from .strategies import (
     DelayBoundingStrategy,
     DfsStrategy,
@@ -34,6 +39,8 @@ __all__ = [
     "strategy_names",
     "BugFindingRuntime",
     "ExecutionResult",
+    "WorkerPool",
+    "shared_worker_pool",
     "SchedulingStrategy",
     "DfsStrategy",
     "IterativeDeepeningDfsStrategy",

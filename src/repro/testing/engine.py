@@ -156,9 +156,17 @@ def drive(
     runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
     deadline: Optional[float] = None,
     stop_check: Optional[Callable[[], bool]] = None,
+    workers: str = "pool",
 ) -> TestReport:
     """The iteration loop shared by :class:`TestingEngine` and portfolio
     workers: run up to ``max_iterations`` schedules under ``strategy``.
+
+    One runtime object is constructed for the whole campaign and reused
+    across iterations (``BugFindingRuntime.reset`` runs at the top of
+    every ``execute``), so per-iteration cost is the schedule itself, not
+    runtime construction.  ``workers`` selects the worker back-end
+    (pooled threads by default; ``"spawn"`` for the legacy
+    thread-per-execution path).
 
     ``deadline`` is an absolute ``time.monotonic()`` timestamp; when absent
     it is derived from ``time_limit``.  The deadline is enforced both
@@ -172,44 +180,57 @@ def drive(
     start = time.perf_counter()
     if deadline is None and time_limit is not None:
         deadline = time.monotonic() + time_limit
-    for iteration in range(max_iterations):
-        if deadline is not None and time.monotonic() >= deadline:
-            report.timed_out = True
-            break
-        if stop_check is not None and stop_check():
-            break
-        if not strategy.prepare_iteration():
-            report.exhausted = True
-            break
-        runtime = factory(
+
+    def build_runtime() -> BugFindingRuntime:
+        return factory(
             strategy=strategy,
             max_steps=max_steps,
             record_trace=record_traces,
             livelock_as_bug=livelock_as_bug,
             deadline=deadline,
             stop_check=stop_check,
+            workers=workers,
         )
-        result = runtime.execute(main_cls, payload)
-        report.max_machines = max(report.max_machines, len(runtime.machines))
-        report.total_steps += result.steps
-        report.total_scheduling_points += result.scheduling_points
-        if result.status in ("time-bound", "stopped"):
-            # Cut off mid-schedule: count the work, not the schedule.
-            report.timed_out = report.timed_out or result.status == "time-bound"
-            break
-        report.iterations += 1
-        if result.status == "depth-bound":
-            report.depth_bound_hits += 1
-        if result.buggy:
-            assert result.bug is not None
-            result.bug.iteration = iteration
-            report.buggy_iterations += 1
-            report.bugs.append(result.bug)
-            if report.first_bug is None:
-                report.first_bug = result.bug
-                report.first_bug_iteration = iteration
-            if stop_on_first_bug:
+
+    runtime = build_runtime()
+    try:
+        for iteration in range(max_iterations):
+            if deadline is not None and time.monotonic() >= deadline:
+                report.timed_out = True
                 break
+            if stop_check is not None and stop_check():
+                break
+            if not strategy.prepare_iteration():
+                report.exhausted = True
+                break
+            if runtime.tainted:
+                # A straggler worker thread from the previous iteration
+                # never unwound; that runtime (and its thread) is written
+                # off so the straggler cannot corrupt later iterations.
+                runtime = build_runtime()
+            result = runtime.execute(main_cls, payload)
+            report.max_machines = max(report.max_machines, len(runtime.machines))
+            report.total_steps += result.steps
+            report.total_scheduling_points += result.scheduling_points
+            if result.status in ("time-bound", "stopped"):
+                # Cut off mid-schedule: count the work, not the schedule.
+                report.timed_out = report.timed_out or result.status == "time-bound"
+                break
+            report.iterations += 1
+            if result.status == "depth-bound":
+                report.depth_bound_hits += 1
+            if result.buggy:
+                assert result.bug is not None
+                result.bug.iteration = iteration
+                report.buggy_iterations += 1
+                report.bugs.append(result.bug)
+                if report.first_bug is None:
+                    report.first_bug = result.bug
+                    report.first_bug_iteration = iteration
+                if stop_on_first_bug:
+                    break
+    finally:
+        runtime.close()
     report.elapsed = time.perf_counter() - start
     return report
 
@@ -240,6 +261,7 @@ class TestingEngine:
         livelock_as_bug: bool = False,
         record_traces: bool = True,
         runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
+        workers: str = "pool",
     ) -> None:
         self.main_cls = main_cls
         self.payload = payload
@@ -251,6 +273,7 @@ class TestingEngine:
         self.livelock_as_bug = livelock_as_bug
         self.record_traces = record_traces
         self.runtime_factory = runtime_factory or BugFindingRuntime
+        self.workers = workers
 
     def run(
         self,
@@ -270,6 +293,7 @@ class TestingEngine:
             runtime_factory=self.runtime_factory,
             deadline=deadline,
             stop_check=stop_check,
+            workers=self.workers,
         )
 
 
@@ -279,16 +303,19 @@ def replay(
     payload: Any = None,
     max_steps: int = 20_000,
     livelock_as_bug: bool = False,
+    workers: str = "pool",
 ) -> ExecutionResult:
     """Deterministically re-execute a recorded schedule.
 
     This is the paper's bug-reproduction workflow: a found bug's trace is
-    replayed to observe the same failure again.
+    replayed to observe the same failure again.  Replay is back-end
+    agnostic: a trace recorded under either worker mode replays under
+    either mode.
     """
     strategy = ReplayStrategy(trace)
     strategy.prepare_iteration()
     runtime = BugFindingRuntime(
         strategy, max_steps=max_steps, record_trace=True,
-        livelock_as_bug=livelock_as_bug,
+        livelock_as_bug=livelock_as_bug, workers=workers,
     )
     return runtime.execute(main_cls, payload)

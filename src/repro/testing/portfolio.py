@@ -174,6 +174,7 @@ def _portfolio_worker(
             record_traces=True,
             deadline=deadline,
             stop_check=cancel.is_set,
+            workers=config["runtime_workers"],
         )
         if config["stop_on_first_bug"] and report.first_bug is not None:
             cancel.set()
@@ -221,6 +222,7 @@ class PortfolioEngine:
         stop_on_first_bug: bool = True,
         livelock_as_bug: bool = False,
         start_method: Optional[str] = None,
+        runtime_workers: str = "pool",
     ) -> None:
         if specs is None:
             specs = default_portfolio(workers if workers is not None else 4, seed)
@@ -243,6 +245,13 @@ class PortfolioEngine:
         self.max_steps = max_steps
         self.stop_on_first_bug = stop_on_first_bug
         self.livelock_as_bug = livelock_as_bug
+        if runtime_workers not in ("pool", "spawn"):
+            raise ValueError(
+                f"runtime_workers must be 'pool' or 'spawn', got {runtime_workers!r}"
+            )
+        # Worker back-end each subprocess's runtime uses: every portfolio
+        # worker gets its own process-local pooled runtime by default.
+        self.runtime_workers = runtime_workers
         if start_method is None:
             # fork shares the already-imported program modules with workers;
             # fall back to the platform default elsewhere.
@@ -262,6 +271,7 @@ class PortfolioEngine:
             "max_steps": self.max_steps,
             "stop_on_first_bug": self.stop_on_first_bug,
             "livelock_as_bug": self.livelock_as_bug,
+            "runtime_workers": self.runtime_workers,
         }
         processes = []
         wall_start = time.perf_counter()

@@ -8,18 +8,43 @@ send and create-machine methods call the runtime method Schedule, which
 blocks the current thread and releases another thread."
 
 Implementation: one cooperative worker thread per machine, a single
-"running" token passed via per-worker semaphores.  Scheduling points occur
+"running" token passed via per-worker signals.  Scheduling points occur
 exactly at ``send`` and ``create_machine`` (receives need no scheduling
 point — the simple partial-order reduction inherited from P [6]); a forced
 hand-off additionally happens when a machine goes idle.  Exactly one
 thread is runnable at any moment, so runtime state needs no locking.
+
+Two worker back-ends drive the cooperative threads:
+
+``workers="pool"`` (default)
+    A process-lifetime :class:`WorkerPool` of reusable OS threads.  Each
+    execution checks workers out, binds machines to them, and checks them
+    back in when the schedule completes, so a 10k-iteration campaign
+    reuses a handful of threads instead of spawning and joining tens of
+    thousands.  Hand-offs ride raw ``threading.Lock`` primitives (C
+    implemented) instead of ``threading.Semaphore`` (pure-Python
+    condition variables).
+
+``workers="spawn"``
+    The historical thread-per-execution path, kept as the A/B baseline:
+    a fresh thread and semaphore per machine per execution.
+
+Both back-ends run the *same* scheduling code, so for a fixed strategy
+seed they produce bit-identical :class:`ScheduleTrace` records — DFS
+backtracking, replay and PCT semantics are independent of the back-end.
+
+The runtime is reusable: :meth:`BugFindingRuntime.reset` (called
+automatically at the top of :meth:`~BugFindingRuntime.execute`) returns
+it to a pristine state, so an engine drives one runtime object for a
+whole campaign instead of reconstructing it per iteration.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Type
 
@@ -36,17 +61,23 @@ from ..errors import (
     UnhandledEventError,
 )
 from .strategies import SchedulingStrategy
-from .trace import BOOL, INT, SCHED, ScheduleTrace
+from .trace import BOOL_TAG, INT_TAG, SCHED_TAG, ScheduleTrace
 
 
 class _WorkerState(Enum):
-    NEW = "new"          # thread created, waiting to run the entry handler
+    NEW = "new"          # bound to a machine, waiting to run the entry handler
     RUNNING = "running"  # inside an action (possibly blocked at a sched point)
     IDLE = "idle"        # waiting for a deliverable event
     DONE = "done"        # halted or finished
 
 
-@dataclass
+_NEW = _WorkerState.NEW
+_RUNNING = _WorkerState.RUNNING
+_IDLE = _WorkerState.IDLE
+_DONE = _WorkerState.DONE
+
+
+@dataclass(slots=True)
 class ExecutionResult:
     """Outcome of a single controlled execution (one schedule)."""
 
@@ -61,14 +92,171 @@ class ExecutionResult:
         return self.bug is not None
 
 
-class _Worker:
-    __slots__ = ("machine", "thread", "semaphore", "state")
+class _SpawnWorker:
+    """Thread-per-execution worker: the historical back-end."""
 
-    def __init__(self, machine: Machine, thread: threading.Thread) -> None:
+    __slots__ = ("machine", "mid", "thread", "signal", "state",
+                 "final_wake_consumed")
+
+    def __init__(self, runtime: "BugFindingRuntime", machine: Machine) -> None:
         self.machine = machine
-        self.thread = thread
-        self.semaphore = threading.Semaphore(0)
-        self.state = _WorkerState.NEW
+        self.mid = machine.id
+        self.signal = threading.Semaphore(0)
+        self.state = _NEW
+        self.final_wake_consumed = False
+        self.thread = threading.Thread(
+            target=self._main,
+            args=(runtime,),
+            daemon=True,
+            name=f"sct-{machine.id}",
+        )
+        self.thread.start()
+
+    def _main(self, runtime: "BugFindingRuntime") -> None:
+        self.signal.acquire()
+        if runtime._canceled:
+            return
+        runtime._worker_body(self)
+
+
+class _PoolWorker:
+    """A reusable cooperative worker thread.
+
+    Between executions the thread parks on its pre-acquired ``signal``
+    lock.  Binding a machine and scheduling it for the first time are the
+    same operation as a mid-schedule hand-off: a ``signal.release()``.
+
+    Permit accounting is exact: during one binding the worker consumes
+    every scheduler wake sent to it plus *exactly one* end-of-execution
+    wake (the cancellation permit from ``_cancel_all``, or a pending
+    scheduler permit that cancellation found unconsumed).  Workers that
+    unwind on their own — the bug-throwing machine, or a machine that
+    halted while others continue — have not consumed that final wake yet,
+    so they park on it *before* retiring (``final_wake_consumed``
+    distinguishes the two unwind shapes).  The worker's lock is therefore
+    provably locked-and-permit-free when it returns to the pool, which is
+    what makes rebinding it to the next execution safe.
+    """
+
+    __slots__ = ("thread", "signal", "machine", "mid", "state", "runtime",
+                 "retired", "shutdown", "final_wake_consumed")
+
+    def __init__(self, index: int) -> None:
+        # A raw lock used as a binary semaphore: created "empty" so the
+        # first release wakes the thread.  Lock beats Semaphore here —
+        # hand-offs happen at every scheduling point and Lock is a C
+        # primitive while Semaphore is condition-variable Python.
+        self.signal = threading.Lock()
+        self.signal.acquire()
+        self.machine: Optional[Machine] = None
+        self.mid: Optional[MachineId] = None
+        self.state = _DONE
+        self.runtime: Optional["BugFindingRuntime"] = None
+        self.retired = True
+        self.shutdown = False
+        self.final_wake_consumed = False
+        self.thread = threading.Thread(
+            target=self._main, daemon=True, name=f"sct-pool-{index}"
+        )
+        self.thread.start()
+
+    def _main(self) -> None:
+        while True:
+            self.signal.acquire()
+            if self.shutdown:
+                return
+            runtime = self.runtime
+            if runtime is None:
+                continue  # defensive: re-park on an unexplained wake
+            try:
+                if runtime._canceled:
+                    # Bound but never scheduled: this wake *is* the
+                    # cancellation permit.
+                    self.final_wake_consumed = True
+                else:
+                    runtime._worker_body(self)
+            finally:
+                if not self.final_wake_consumed:
+                    # Unwound spontaneously: the end-of-execution permit
+                    # is still owed to this worker.  Wait for it so the
+                    # lock is clean before the pool can rebind us.
+                    self.signal.acquire()
+                self.runtime = None
+                self.machine = None
+                runtime._worker_retired(self)
+
+
+class WorkerPool:
+    """A pool of reusable cooperative worker threads.
+
+    Sized by the maximum number of machines ever simultaneously bound;
+    workers are parked (blocked on their signal lock) between executions.
+    One shared process-wide pool serves every pooled runtime by default —
+    workers carry no runtime state between bindings.
+
+    Fork-safe: ``fork`` only duplicates the forking thread, so parked
+    worker threads do not exist in a child process (e.g. a portfolio
+    worker).  The pool detects the new pid and rebuilds itself empty
+    before handing out workers there.
+    """
+
+    def __init__(self) -> None:
+        self._free: List[_PoolWorker] = []
+        self._created = 0
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    def _repair_after_fork(self) -> None:
+        # Runs on the child's (still single) thread: inherited workers are
+        # threadless shells and the inherited lock may be stuck mid-hold.
+        self._lock = threading.Lock()
+        self._free = []
+        self._created = 0
+        self._pid = os.getpid()
+
+    def checkout(self) -> _PoolWorker:
+        if self._pid != os.getpid():
+            self._repair_after_fork()
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+            index = self._created
+            self._created += 1
+        return _PoolWorker(index)
+
+    def checkin(self, worker: _PoolWorker) -> None:
+        if self._pid != os.getpid():
+            self._repair_after_fork()
+            return  # the worker being returned is a pre-fork shell: drop it
+        with self._lock:
+            self._free.append(worker)
+
+    @property
+    def size(self) -> int:
+        return self._created
+
+    @property
+    def idle(self) -> int:
+        return len(self._free)
+
+    def shutdown(self) -> None:
+        """Terminate all parked workers (bound workers are left alone)."""
+        with self._lock:
+            workers, self._free = self._free, []
+            self._created -= len(workers)
+        for worker in workers:
+            worker.shutdown = True
+            worker.signal.release()
+        for worker in workers:
+            worker.thread.join(timeout=1.0)
+
+
+_shared_pool = WorkerPool()
+
+
+def shared_worker_pool() -> WorkerPool:
+    """The process-wide default pool used by pooled runtimes."""
+    return _shared_pool
 
 
 class BugFindingRuntime(RuntimeBase):
@@ -94,11 +282,23 @@ class BugFindingRuntime(RuntimeBase):
         Polled periodically; when it returns True the execution aborts
         with status ``"stopped"``.  Portfolio workers pass the shared
         first-bug-wins cancellation event here.
+    workers:
+        ``"pool"`` binds machines to reusable pooled threads (fast,
+        default); ``"spawn"`` creates a thread per machine per execution
+        (the historical path, kept for A/B benchmarking).  Both produce
+        identical traces for the same strategy seed.
+    pool:
+        The :class:`WorkerPool` to draw pooled workers from; defaults to
+        the shared process-wide pool.
     """
 
     # How many scheduling steps between deadline/stop_check polls: the
     # checks must not dominate the hot handoff path.
     _POLL_MASK = 31
+
+    # How long execute() waits for workers to unwind at end-of-execution
+    # before declaring the runtime tainted (see ``tainted``).
+    _retire_timeout = 5.0
 
     def __init__(
         self,
@@ -108,18 +308,60 @@ class BugFindingRuntime(RuntimeBase):
         livelock_as_bug: bool = False,
         deadline: Optional[float] = None,
         stop_check: Optional[Callable[[], bool]] = None,
+        workers: str = "pool",
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         super().__init__()
+        if workers not in ("pool", "spawn"):
+            raise ValueError(f"workers must be 'pool' or 'spawn', got {workers!r}")
         self.strategy = strategy
         self.max_steps = max_steps
         self.record_trace = record_trace
         self.livelock_as_bug = livelock_as_bug
         self.deadline = deadline
         self.stop_check = stop_check
+        self.workers = workers
+        self._pool = pool if pool is not None else _shared_pool
+        self._hook_visible = (
+            type(self).on_visible_operation
+            is not BugFindingRuntime.on_visible_operation
+        )
+        self._retire_lock = threading.Lock()
+        self._all_retired = threading.Event()
+        # True once a worker thread outlived the end-of-execution barrier
+        # (non-terminating or slow-unwinding user code).  A tainted
+        # runtime must not be reused: reset() would clear _canceled and
+        # the straggler thread, on resuming, would mutate the *next*
+        # execution's state.  Leaving the runtime canceled forever makes
+        # the straggler unwind harmlessly — the same benign leak the old
+        # runtime-per-iteration design had.  drive() constructs a fresh
+        # runtime when it sees the flag.
+        self.tainted = False
+        # Per-execution state (see reset()).  Initialized non-virtually so
+        # subclass __init__ order cannot break construction.
+        BugFindingRuntime.reset(self)
 
-        self._workers: Dict[MachineId, _Worker] = {}
-        self._creation_order: List[MachineId] = []
-        self._done = threading.Semaphore(0)
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def reset(self) -> None:
+        """Return the runtime to a pristine state so it can run another
+        execution.  ``execute`` calls this automatically, which also
+        repairs the stale ``_current``/counter state a canceled or
+        depth-bounded execution leaves behind.
+
+        Subclasses with per-execution state (e.g. the CHESS baseline's
+        vector clocks) must override this and call ``super().reset()``.
+        """
+        # Registry state from RuntimeBase.
+        self._machines.clear()
+        self._next_id = 0
+        self._error = None
+        # Execution state.
+        self._workers: Dict[MachineId, Any] = {}
+        self._worker_list: List[Any] = []  # in machine-creation order
+        self._done = threading.Lock()
+        self._done.acquire()
         self._canceled = False
         self._finished = False
         self._status = "ok"
@@ -128,28 +370,69 @@ class BugFindingRuntime(RuntimeBase):
         self._sched_points = 0
         self._steps = 0
         self._current: Optional[MachineId] = None
+        self._poll = self.deadline is not None or self.stop_check is not None
+        # Pooled-worker bookkeeping.
+        self._bound: List[_PoolWorker] = []
+        self._live = 0
+        self._all_retired.clear()
+
+    def close(self) -> None:
+        """Shut down a privately owned worker pool (no-op for the shared
+        pool, whose parked threads are reused process-wide)."""
+        if self._pool is not _shared_pool:
+            self._pool.shutdown()
 
     # ==================================================================
     # Public entry point
     # ==================================================================
     def execute(self, main_cls: Type[Machine], payload: Any = None) -> ExecutionResult:
         """Run the program once, from start to completion, under the
-        strategy's schedule."""
-        self._trace = ScheduleTrace() if self.record_trace else None
+        strategy's schedule.  Reusable: each call starts from a reset
+        runtime and releases its workers before returning."""
+        if self.tainted:
+            raise PSharpError(
+                "runtime is tainted: a worker thread from a previous "
+                "execution never unwound; construct a fresh runtime"
+            )
+        self.reset()
+        trace = ScheduleTrace() if self.record_trace else None
+        self._trace = trace
         mid = self._spawn(main_cls, payload)
-        first = self._pick([mid])
-        self._workers[first].semaphore.release()
+        # The very first decision is forced: only the main machine exists.
+        self.strategy.observe_forced(mid)
+        if trace is not None:
+            trace.append(SCHED_TAG, mid.value)
+        self._workers[mid].signal.release()
         self._done.acquire()
         self._cancel_all()
-        for worker in self._workers.values():
-            worker.thread.join(timeout=5.0)
+        if self.workers == "pool":
+            self._release_pool_workers()
+        else:
+            for worker in self._workers.values():
+                worker.thread.join(timeout=self._retire_timeout)
+            if any(w.thread.is_alive() for w in self._workers.values()):
+                self.tainted = True
         return ExecutionResult(
             status=self._status,
             steps=self._steps,
             scheduling_points=self._sched_points,
-            trace=self._trace,
+            trace=trace,
             bug=self._bug,
         )
+
+    def _release_pool_workers(self) -> None:
+        """Wait for every bound worker to unwind, then return them to the
+        pool.  Retirement implies the worker consumed its end-of-execution
+        permit, so its lock is clean for the next binding."""
+        if not self._all_retired.wait(timeout=self._retire_timeout):
+            # A straggler is still unwinding; it and this runtime are
+            # written off (leaked worker, tainted runtime) so it can
+            # never corrupt a later execution.
+            self.tainted = True
+        bound, self._bound = self._bound, []
+        for worker in bound:
+            if worker.retired:
+                self._pool.checkin(worker)
 
     # ==================================================================
     # RuntimeBase interface (called from inside running actions)
@@ -171,30 +454,33 @@ class BugFindingRuntime(RuntimeBase):
         self, target: MachineId, event: Event, sender: Optional[Machine] = None
     ) -> None:
         machine = self._machines.get(target)
-        if machine is not None and not machine.is_halted:
-            machine._enqueue(event)
-            self.on_visible_operation(machine, "enqueue")
+        if machine is not None and not machine._halted:
+            machine._inbox.append(event)
+            if self._hook_visible:
+                self.on_visible_operation(machine, "enqueue")
         if sender is not None:
             self._schedule(sender.id)
 
     def nondet(self, machine: Machine) -> bool:
-        self._check_canceled()
+        if self._canceled:
+            raise ExecutionCanceled()
         value = self.strategy.pick_bool()
         if self._trace is not None:
-            self._trace.record(BOOL, int(value))
+            self._trace.append(BOOL_TAG, int(value))
         return value
 
     def nondet_int(self, machine: Machine, bound: int) -> int:
-        self._check_canceled()
+        if self._canceled:
+            raise ExecutionCanceled()
         value = self.strategy.pick_int(bound)
         if self._trace is not None:
-            self._trace.record(INT, value)
+            self._trace.append(INT_TAG, value)
         return value
 
     def on_machine_halted(self, machine: Machine) -> None:
         worker = self._workers.get(machine.id)
         if worker is not None:
-            worker.state = _WorkerState.DONE
+            worker.state = _DONE
 
     # Hook for the CHESS baseline: called on extra visible operations
     # (queue ops, field accesses).  The base runtime ignores them — this is
@@ -207,36 +493,51 @@ class BugFindingRuntime(RuntimeBase):
     # ==================================================================
     def _spawn(self, machine_cls: Type[Machine], payload: Any) -> MachineId:
         machine = self._instantiate(machine_cls, payload)
-        thread = threading.Thread(
-            target=self._worker_main,
-            args=(machine,),
-            daemon=True,
-            name=f"sct-{machine.id}",
-        )
-        worker = _Worker(machine, thread)
+        if self.workers == "pool":
+            worker = self._pool.checkout()
+            worker.machine = machine
+            worker.mid = machine.id
+            worker.state = _NEW
+            worker.retired = False
+            worker.final_wake_consumed = False
+            worker.runtime = self
+            with self._retire_lock:
+                self._live += 1
+            self._bound.append(worker)
+        else:
+            worker = _SpawnWorker(self, machine)
         self._workers[machine.id] = worker
-        self._creation_order.append(machine.id)
-        thread.start()
+        self._worker_list.append(worker)
         return machine.id
 
-    def _worker_main(self, machine: Machine) -> None:
-        worker = self._workers[machine.id]
-        worker.semaphore.acquire()
-        if self._canceled:
-            return
-        worker.state = _WorkerState.RUNNING
+    def _worker_retired(self, worker: _PoolWorker) -> None:
+        with self._retire_lock:
+            worker.retired = True
+            self._live -= 1
+            if self._live == 0:
+                self._all_retired.set()
+
+    def _worker_body(self, worker: Any) -> None:
+        """Run one machine to completion under the cooperative schedule.
+        Entered with the signal permit held (this worker was scheduled)."""
+        machine = worker.machine
+        worker.state = _RUNNING
         self._current = machine.id
         try:
             machine._start()
-            while not machine.is_halted:
-                self._count_step()
-                self.on_visible_operation(machine, "dequeue")
-                progressed = machine._step()
-                if machine.is_halted:
+            count_step = self._count_step
+            step = machine._step
+            hook_visible = self._hook_visible
+            while not machine._halted:
+                count_step()
+                if hook_visible:
+                    self.on_visible_operation(machine, "dequeue")
+                progressed = step()
+                if machine._halted:
                     break
                 if not progressed:
                     self._become_idle(worker)
-            worker.state = _WorkerState.DONE
+            worker.state = _DONE
             self._handoff(worker, voluntary=False)
         except ExecutionCanceled:
             pass
@@ -250,12 +551,14 @@ class BugFindingRuntime(RuntimeBase):
             wrapped = ActionError(machine, machine.current_state or "?", exc)
             self._report_bug("action-exception", str(wrapped), machine, wrapped)
 
-    def _become_idle(self, worker: _Worker) -> None:
-        worker.state = _WorkerState.IDLE
+    def _become_idle(self, worker: Any) -> None:
+        worker.state = _IDLE
         self._handoff(worker, voluntary=True)
         # Woken up: either canceled, or we have a deliverable event.
-        self._check_canceled()
-        worker.state = _WorkerState.RUNNING
+        if self._canceled:
+            worker.final_wake_consumed = True
+            raise ExecutionCanceled()
+        worker.state = _RUNNING
         self._current = worker.machine.id
 
     # ------------------------------------------------------------------
@@ -263,67 +566,83 @@ class BugFindingRuntime(RuntimeBase):
     # ------------------------------------------------------------------
     def _schedulable(self) -> List[MachineId]:
         enabled = []
-        for mid in self._creation_order:
-            worker = self._workers[mid]
-            if worker.state is _WorkerState.NEW:
-                enabled.append(mid)
-            elif worker.state is _WorkerState.RUNNING:
-                enabled.append(mid)
-            elif worker.state is _WorkerState.IDLE and worker.machine._has_deliverable():
-                enabled.append(mid)
+        for worker in self._worker_list:
+            state = worker.state
+            if state is _RUNNING or state is _NEW:
+                enabled.append(worker.mid)
+            elif state is _IDLE and worker.machine._has_deliverable():
+                enabled.append(worker.mid)
         return enabled
 
     def _schedule(self, current: MachineId) -> None:
         """A scheduling point: the strategy picks the next machine among
-        the enabled ones; the current thread blocks if not chosen."""
-        self._check_canceled()
+        the enabled ones; the current thread blocks if not chosen.
+
+        When only one machine is enabled the decision is forced: the
+        strategy is not consulted (``observe_forced`` keeps replay
+        aligned) and — since the running machine is always enabled here —
+        no hand-off happens.  The forced decision is still recorded, so
+        traces are identical whether or not the fast path fires.
+        """
+        if self._canceled:
+            raise ExecutionCanceled()
         self._count_step()
         enabled = self._schedulable()
         self._sched_points += 1
-        choice = self._pick(enabled, current)
+        trace = self._trace
+        if len(enabled) == 1:
+            choice = enabled[0]
+            self.strategy.observe_forced(choice)
+            if trace is not None:
+                trace.append(SCHED_TAG, choice.value)
+            return  # the only enabled machine is the running one
+        choice = self.strategy.pick_machine(enabled, current)
+        if trace is not None:
+            trace.append(SCHED_TAG, choice.value)
         if choice == current:
             return
         current_worker = self._workers[current]
-        self._workers[choice].semaphore.release()
-        current_worker.semaphore.acquire()
-        self._check_canceled()
+        self._workers[choice].signal.release()
+        current_worker.signal.acquire()
+        if self._canceled:
+            current_worker.final_wake_consumed = True
+            raise ExecutionCanceled()
         self._current = current
 
-    def _handoff(self, worker: _Worker, voluntary: bool) -> None:
+    def _handoff(self, worker: Any, voluntary: bool) -> None:
         """Give up control without remaining schedulable (idle or done)."""
         enabled = self._schedulable()
         if not enabled:
             self._finish("ok")
-            # Block until cancellation unwinds this thread.
-            worker.semaphore.acquire()
+            # Block until cancellation unwinds this thread; the only wake
+            # that can arrive here is the end-of-execution permit.
+            worker.signal.acquire()
+            worker.final_wake_consumed = True
             self._check_canceled()
             return
         self._sched_points += 1
-        choice = self._pick(enabled, worker.machine.id)
-        self._workers[choice].semaphore.release()
-        if voluntary:
-            worker.semaphore.acquire()
-
-    def _pick(
-        self, enabled: List[MachineId], current: Optional[MachineId] = None
-    ) -> MachineId:
-        choice = self.strategy.pick_machine(enabled, current)
+        if len(enabled) == 1:
+            choice = enabled[0]
+            self.strategy.observe_forced(choice)
+        else:
+            choice = self.strategy.pick_machine(enabled, worker.machine.id)
         if self._trace is not None:
-            self._trace.record(SCHED, choice.value)
-        return choice
+            self._trace.append(SCHED_TAG, choice.value)
+        self._workers[choice].signal.release()
+        if voluntary:
+            worker.signal.acquire()
 
     def _count_step(self) -> None:
-        self._steps += 1
-        if (self.deadline is not None or self.stop_check is not None) and (
-            self._steps & self._POLL_MASK == 0
-        ):
+        steps = self._steps + 1
+        self._steps = steps
+        if self._poll and (steps & self._POLL_MASK) == 0:
             if self.deadline is not None and time.monotonic() >= self.deadline:
                 self._finish("time-bound")
                 raise ExecutionCanceled()
             if self.stop_check is not None and self.stop_check():
                 self._finish("stopped")
                 raise ExecutionCanceled()
-        if self._steps > self.max_steps:
+        if steps > self.max_steps:
             if self.livelock_as_bug:
                 self._report_bug(
                     "liveness",
@@ -373,4 +692,9 @@ class BugFindingRuntime(RuntimeBase):
         self._canceled = True
         for worker in self._workers.values():
             # Wake everyone; awakened workers observe _canceled and unwind.
-            worker.semaphore.release()
+            try:
+                worker.signal.release()
+            except RuntimeError:
+                # Raw-lock signal already holds a pending wake-up (e.g. a
+                # scheduler release the worker has not consumed yet).
+                pass

@@ -46,6 +46,19 @@ class SchedulingStrategy(ABC):
     def pick_int(self, bound: int) -> int:
         ...
 
+    def observe_forced(self, choice: MachineId) -> None:
+        """Notification of a *forced* scheduling decision (exactly one
+        machine enabled).  The runtime does not consult the strategy at
+        such points — there is nothing to decide and no branch to explore
+        — but still records the decision in the trace.  Strategies that
+        track position in a recorded decision sequence (replay) override
+        this to stay aligned, and step-indexed strategies (PCT,
+        delay-bounding) override it to keep counting forced points as
+        steps so their perturbation-point semantics are unchanged.
+        Branching-only strategies (DFS, random) need not care, since a
+        one-option node never branches.
+        """
+
     def is_fair(self) -> bool:
         """Whether long executions remain meaningful under this strategy."""
         return False
@@ -185,9 +198,10 @@ class RandomStrategy(SchedulingStrategy):
 
     def prepare_iteration(self) -> bool:
         self._iteration += 1
-        # A fresh, deterministic generator per iteration: iteration k of a
-        # seeded run is reproducible in isolation.
-        self._rng = random.Random(self._seed * 1_000_003 + self._iteration)
+        # Reseed deterministically per iteration (equivalent to a fresh
+        # ``random.Random(seed)`` but without the allocation): iteration k
+        # of a seeded run is reproducible in isolation.
+        self._rng.seed(self._seed * 1_000_003 + self._iteration)
         return True
 
     def pick_machine(
@@ -238,6 +252,13 @@ class ReplayStrategy(SchedulingStrategy):
             return None
         self._pos += 1
         return value
+
+    def observe_forced(self, choice: MachineId) -> None:
+        # Forced decisions are recorded in traces; consume the matching
+        # entry so subsequent real choices stay aligned with the record.
+        value = self._next(SCHED)
+        if value is not None and value != choice.value:
+            self.diverged = True
 
     def pick_machine(
         self, enabled: Sequence[MachineId], current: Optional[MachineId]
@@ -290,7 +311,7 @@ class PctStrategy(SchedulingStrategy):
     def prepare_iteration(self) -> bool:
         self._iteration += 1
         self._horizon = max(self._horizon, self._step, 2)
-        self._rng = random.Random(self._seed * 1_000_003 + self._iteration)
+        self._rng.seed(self._seed * 1_000_003 + self._iteration)
         self._priorities = {}
         self._step = 0
         horizon = min(self._horizon, self._max_steps)
@@ -308,6 +329,16 @@ class PctStrategy(SchedulingStrategy):
         if mid not in self._priorities:
             self._priorities[mid] = self._rng.random() + 1.0
         return self._priorities[mid]
+
+    def observe_forced(self, choice: MachineId) -> None:
+        # A forced point is still a step: change points may land on it
+        # (deprioritizing the sole runnable machine for *later*
+        # decisions), exactly as picking from a one-element enabled set
+        # did before the runtime grew the forced-decision fast path.
+        self._step += 1
+        self._priority(choice)
+        if self._step in self._change_points:
+            self._priorities[choice] = self._rng.random() * 1e-6
 
     def pick_machine(
         self, enabled: Sequence[MachineId], current: Optional[MachineId]
@@ -355,7 +386,7 @@ class DelayBoundingStrategy(SchedulingStrategy):
     def prepare_iteration(self) -> bool:
         self._iteration += 1
         self._horizon = max(self._horizon, self._step, 2)
-        self._rng = random.Random(self._seed * 1_000_003 + self._iteration)
+        self._rng.seed(self._seed * 1_000_003 + self._iteration)
         self._step = 0
         horizon = min(self._horizon, self._max_steps)
         count = self._rng.randint(0, min(self._delays, horizon))
@@ -363,6 +394,12 @@ class DelayBoundingStrategy(SchedulingStrategy):
             self._rng.sample(range(1, horizon + 1), count)
         ) if count else set()
         return True
+
+    def observe_forced(self, choice: MachineId) -> None:
+        # Forced points count as steps so delay-point indices mean the
+        # same thing they did before the fast path; a delay landing on a
+        # one-machine step is a no-op, as it always was.
+        self._step += 1
 
     def pick_machine(
         self, enabled: Sequence[MachineId], current: Optional[MachineId]

@@ -5,35 +5,88 @@ after a bug is found, the runtime can generate a trace that represents the
 buggy schedule" (Section 6.2).  A trace is the sequence of all decisions
 the scheduling strategy made: which machine to run at each scheduling
 point, plus every controlled nondeterministic boolean/integer choice.
+
+Traces sit on the hot path — one append per scheduling decision, tens of
+thousands of decisions per second — so they are stored as two flat
+``array`` buffers (a byte of kind tag plus a 64-bit value per decision)
+instead of a list of tuples.  The JSON wire format is unchanged: a list of
+``[kind, value]`` pairs with the string kinds ``"sched"``/``"bool"``/
+``"int"``, so traces recorded by older versions replay unmodified and
+stored traces stay diffable.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from array import array
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 SCHED = "sched"
 BOOL = "bool"
 INT = "int"
 
+# Compact kind tags used in the flat encoding; the string kinds above
+# remain the public vocabulary (and the wire format).
+SCHED_TAG = 0
+BOOL_TAG = 1
+INT_TAG = 2
+
+_TAG_OF = {SCHED: SCHED_TAG, BOOL: BOOL_TAG, INT: INT_TAG}
+_KIND_OF = (SCHED, BOOL, INT)
+
 Decision = Tuple[str, int]
 
 
-@dataclass
 class ScheduleTrace:
-    """An append-only record of scheduling decisions."""
+    """An append-only record of scheduling decisions.
 
-    decisions: List[Decision] = field(default_factory=list)
+    Internally two parallel flat arrays (kind tags, values); externally a
+    sequence of ``(kind, value)`` tuples, exactly like the historical
+    list-of-tuples representation.
+    """
 
+    __slots__ = ("_tags", "_values")
+
+    def __init__(self, decisions: Optional[Iterable[Decision]] = None) -> None:
+        self._tags = array("b")
+        self._values = array("q")
+        if decisions:
+            for kind, value in decisions:
+                self._tags.append(_TAG_OF[kind])
+                self._values.append(value)
+
+    # -- recording ------------------------------------------------------
     def record(self, kind: str, value: int) -> None:
-        self.decisions.append((kind, value))
+        """Record one decision by string kind (compatibility surface)."""
+        self._tags.append(_TAG_OF[kind])
+        self._values.append(value)
+
+    def append(self, tag: int, value: int) -> None:
+        """Hot-path append by integer kind tag (no dict lookup)."""
+        self._tags.append(tag)
+        self._values.append(value)
+
+    # -- sequence protocol ---------------------------------------------
+    @property
+    def decisions(self) -> List[Decision]:
+        """The decisions as ``(kind, value)`` tuples (materialized)."""
+        kinds = _KIND_OF
+        return [(kinds[t], v) for t, v in zip(self._tags, self._values)]
 
     def __len__(self) -> int:
-        return len(self.decisions)
+        return len(self._tags)
 
     def __iter__(self) -> Iterator[Decision]:
-        return iter(self.decisions)
+        kinds = _KIND_OF
+        return iter([(kinds[t], v) for t, v in zip(self._tags, self._values)])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduleTrace):
+            return NotImplemented
+        return self._tags == other._tags and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((bytes(self._tags), self._values.tobytes()))
 
     # -- serialization (traces can be stored alongside bug reports) -----
     def to_json(self) -> str:
@@ -45,11 +98,14 @@ class ScheduleTrace:
 
     def __str__(self) -> str:
         parts = []
-        for kind, value in self.decisions:
-            if kind == SCHED:
+        for tag, value in zip(self._tags, self._values):
+            if tag == SCHED_TAG:
                 parts.append(f"m{value}")
-            elif kind == BOOL:
+            elif tag == BOOL_TAG:
                 parts.append("T" if value else "F")
             else:
                 parts.append(f"i{value}")
         return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ScheduleTrace({self.decisions!r})"
