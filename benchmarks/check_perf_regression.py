@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Perf regression gate: compare a freshly generated BENCH_throughput.json
+against the committed baseline and fail on a >20% aggregate #Sch/sec drop.
+
+The perf-smoke CI job copies the committed baseline aside, regenerates the
+trajectory file by running ``benchmarks/test_portfolio_throughput.py``
+(which overwrites ``BENCH_throughput.json`` in place), then runs::
+
+    python benchmarks/check_perf_regression.py BASELINE.json FRESH.json
+
+The gate compares the pooled back-end's aggregate schedules/sec (the
+headline Table 2 metric); per-benchmark numbers are printed for context
+but only the aggregate gates, since single benchmarks are noisy on shared
+CI runners.  Tolerance defaults to 0.20 (20%) and can be overridden with
+``--tolerance`` or the ``REPRO_PERF_TOLERANCE`` environment variable.
+
+Caveat: the comparison is absolute, so it assumes the baseline was
+generated on hardware comparable to the runner doing the fresh
+measurement.  If the CI runner class changes (or the gate starts failing
+with uniformly scaled per-benchmark ratios, the host-speed signature),
+regenerate the committed baseline on the new runner class or widen
+``REPRO_PERF_TOLERANCE`` — a genuine regression shows up as a drop in the
+pool numbers that the spawn numbers don't share.
+
+Exit status: 0 when within tolerance, 1 on a regression, 2 on bad inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _bad_input(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_aggregate(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        _bad_input(f"cannot read trajectory file {path}: {exc}")
+    aggregate = data.get("aggregate")
+    if not aggregate or "pool_sch_per_sec" not in aggregate:
+        _bad_input(f"{path} has no aggregate.pool_sch_per_sec")
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed trajectory file")
+    parser.add_argument("fresh", type=Path, help="freshly generated trajectory file")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.20")),
+        help="maximum tolerated aggregate drop as a fraction (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_aggregate(args.baseline)
+    fresh = load_aggregate(args.fresh)
+    base_agg = baseline["aggregate"]["pool_sch_per_sec"]
+    fresh_agg = fresh["aggregate"]["pool_sch_per_sec"]
+    if base_agg <= 0:
+        _bad_input(f"baseline aggregate is non-positive ({base_agg})")
+
+    print(f"{'benchmark':18s} {'baseline':>10s} {'fresh':>10s} {'ratio':>7s}")
+    for name, row in sorted(fresh.get("benchmarks", {}).items()):
+        base_row = baseline.get("benchmarks", {}).get(name)
+        base_val = base_row["pool_sch_per_sec"] if base_row else float("nan")
+        fresh_val = row["pool_sch_per_sec"]
+        ratio = fresh_val / base_val if base_row and base_val else float("nan")
+        print(f"{name:18s} {base_val:>10.1f} {fresh_val:>10.1f} {ratio:>6.2f}x")
+
+    ratio = fresh_agg / base_agg
+    print(
+        f"{'aggregate':18s} {base_agg:>10.1f} {fresh_agg:>10.1f} {ratio:>6.2f}x "
+        f"(gate: >= {1.0 - args.tolerance:.2f}x)"
+    )
+    if ratio < 1.0 - args.tolerance:
+        print(
+            f"PERF REGRESSION: aggregate pooled #Sch/sec dropped "
+            f"{(1.0 - ratio) * 100:.1f}% (> {args.tolerance * 100:.0f}% tolerance)"
+        )
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

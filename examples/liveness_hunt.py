@@ -1,0 +1,95 @@
+"""Hunting a livelock with hot/cold liveness monitors (Section 7.2).
+
+The ProcessScheduler benchmark's buggy variant livelocks when an
+interrupt beats the client's CPU request to the scheduler: the recovery
+loop re-arms itself forever and the deferred request is never granted.
+The ``CpuProgressMonitor`` specification encodes the obligation — hot
+(``Starved``) while a request is outstanding, cold (``Satisfied``) once
+granted — and the runtime reports a liveness bug when the monitor stays
+hot beyond the temperature threshold under a *fair* schedule.
+
+The walkthrough shows the three pieces fitting together:
+
+1. An **unfair** strategy (DFS) cannot tell a livelock from its own
+   starvation of a machine, so its depth-bound cutoffs stay plain
+   ``"depth-bound"`` statuses — no spurious liveness reports.
+2. The **fair** ``FairRandomStrategy`` (round-robin-biased random walk)
+   plus the monitor pinpoints the livelock via hot-state temperature,
+   naming the hot state and the step counts.
+3. The winning schedule **replays deterministically**, monitor included.
+
+Run: ``python examples/liveness_hunt.py``
+"""
+
+from repro import FairRandomStrategy, DfsStrategy, PortfolioEngine, StrategySpec, TestingEngine
+from repro.bench import get
+
+benchmark = get("ProcessScheduler")
+MONITORS = benchmark.buggy.monitors  # (CpuProgressMonitor,)
+
+
+def unfair_strategies_stay_quiet():
+    print("1. DFS (unfair) + livelock_as_bug: no spurious liveness reports")
+    engine = TestingEngine(
+        benchmark.buggy.main,
+        strategy=DfsStrategy(),
+        max_iterations=30,
+        max_steps=2_000,
+        time_limit=30,
+        livelock_as_bug=True,  # the legacy heuristic would fire here...
+        stop_on_first_bug=False,
+    )
+    report = engine.run()
+    print(f"   {report.summary()}")
+    print(f"   depth-bound cutoffs: {report.depth_bound_hits}, "
+          f"bugs: {report.buggy_iterations} (starvation is not a livelock)\n")
+
+
+def fair_strategy_finds_the_livelock():
+    print("2. FairRandomStrategy + CpuProgressMonitor: temperature detection")
+    engine = TestingEngine(
+        benchmark.buggy.main,
+        strategy=FairRandomStrategy(seed=3),
+        max_iterations=200,
+        max_steps=2_000,
+        time_limit=60,
+        monitors=MONITORS,
+        max_hot_steps=150,  # fair steps a monitor may stay hot
+    )
+    report = engine.run()
+    print(f"   {report.summary()}")
+    if report.first_bug is not None:
+        print(f"   -> {report.first_bug.message}\n")
+    return report
+
+
+def portfolio_and_replay():
+    print("3. Portfolio campaign + deterministic replay of the winner")
+    engine = PortfolioEngine(
+        benchmark.buggy.main,
+        specs=[
+            StrategySpec("fair-random", {"seed": 3}),
+            StrategySpec("fair-random", {"seed": 4, "bias": 0.7}),
+        ],
+        max_iterations=200,
+        time_limit=60,
+        max_steps=2_000,
+        monitors=MONITORS,
+        max_hot_steps=150,
+    )
+    report = engine.run()
+    print(f"   campaign: {report.summary()}")
+    replayed = engine.replay_winner(report)
+    if replayed is None:
+        print("   (no bug within budget — raise iterations)")
+        return
+    assert replayed.buggy and replayed.bug.kind == "liveness"
+    assert replayed.trace == report.first_bug.trace
+    print(f"   replayed bit-identically in {replayed.steps} steps: "
+          f"{replayed.bug.message}")
+
+
+if __name__ == "__main__":
+    unfair_strategies_stay_quiet()
+    fair_strategy_finds_the_livelock()
+    portfolio_and_replay()

@@ -10,8 +10,13 @@ Programming model (:mod:`repro.core`):
 Systematic concurrency testing (:mod:`repro.testing`):
     ``TestingEngine``, ``PortfolioEngine`` (parallel strategy portfolio),
     ``BugFindingRuntime``, ``DfsStrategy``, ``IterativeDeepeningDfsStrategy``,
-    ``RandomStrategy``, ``ReplayStrategy``, ``PctStrategy``,
-    ``DelayBoundingStrategy``, ``StrategySpec``, ``replay``
+    ``RandomStrategy``, ``FairRandomStrategy``, ``ReplayStrategy``,
+    ``PctStrategy``, ``DelayBoundingStrategy``, ``StrategySpec``, ``replay``
+
+Specifications (:mod:`repro.testing.monitors`):
+    ``Monitor`` (safety/liveness specification machines), ``hot`` /
+    ``cold`` state markers, ``EMachineHalted`` — liveness livelocks are
+    detected via hot-state temperature under fair schedules
 
 Static data race analysis (:mod:`repro.analysis`):
     ``analyze_program``, ``analyze_machines`` — the ownership-based
@@ -44,6 +49,7 @@ from .errors import (
     BugReport,
     LivenessError,
     MachineDeclarationError,
+    MonitorError,
     PSharpError,
     UnhandledEventError,
 )
@@ -51,8 +57,11 @@ from .testing import (
     BugFindingRuntime,
     DelayBoundingStrategy,
     DfsStrategy,
+    EMachineHalted,
     ExecutionResult,
+    FairRandomStrategy,
     IterativeDeepeningDfsStrategy,
+    Monitor,
     PctStrategy,
     PortfolioEngine,
     RandomStrategy,
@@ -61,7 +70,9 @@ from .testing import (
     StrategySpec,
     TestingEngine,
     TestReport,
+    cold,
     default_portfolio,
+    hot,
     make_strategy,
     register_strategy,
     replay,
@@ -84,6 +95,7 @@ __all__ = [
     "AssertionFailure",
     "ActionError",
     "LivenessError",
+    "MonitorError",
     "BugReport",
     "AnalysisDiagnostic",
     "AnalysisReport",
@@ -99,10 +111,15 @@ __all__ = [
     "DfsStrategy",
     "IterativeDeepeningDfsStrategy",
     "RandomStrategy",
+    "FairRandomStrategy",
     "ReplayStrategy",
     "PctStrategy",
     "DelayBoundingStrategy",
     "ScheduleTrace",
+    "Monitor",
+    "EMachineHalted",
+    "hot",
+    "cold",
     "replay",
     "__version__",
 ]

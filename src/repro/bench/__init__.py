@@ -6,6 +6,7 @@ from .registry import (
     all_benchmarks,
     buggy_main,
     get,
+    liveness_suite,
     resolve,
     suite,
     table2_suite,
@@ -17,6 +18,7 @@ __all__ = [
     "all_benchmarks",
     "buggy_main",
     "get",
+    "liveness_suite",
     "resolve",
     "suite",
     "table2_suite",

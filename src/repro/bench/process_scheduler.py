@@ -1,0 +1,185 @@
+"""ProcessScheduler — a livelock benchmark for liveness monitors.
+
+The classic liveness-specification scenario (the shape of P#'s
+ProcessScheduler sample): a client asks a scheduler for the CPU, and the
+specification says every request is *eventually* granted.  The
+``CpuProgressMonitor`` liveness monitor encodes that obligation with
+hot/cold states — hot while a request is outstanding, cold once granted
+(Section 7.2's specification machines).
+
+An interrupt source races with the client: the scheduler handles at most
+one interrupt, running a short recovery before serving deferred requests.
+
+Variants
+--------
+buggy
+    The recovery re-arms itself forever (its ``ERecover`` transition
+    re-enters the recovering state, whose entry handler sends a fresh
+    ``ERecover``), so once an interrupt is handled the scheduler spins and
+    the deferred CPU request is never granted.  Whether that matters is
+    interleaving-dependent: if the request was granted *before* the
+    interrupt was dequeued, the spin is benign (the monitor is cold) and
+    only the depth bound ends the execution; if the interrupt wins the
+    race, the monitor stays hot forever — a genuine livelock that
+    temperature-based detection pinpoints under a fair schedule, and that
+    the bare depth-bound heuristic cannot distinguish from the benign
+    spin.
+correct
+    Recovery runs exactly one ``ERecover`` round and returns to ``Idle``,
+    where the deferred request is granted; every execution terminates
+    with the monitor cold.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event
+from ..core.machine import Machine, State
+from ..testing.monitors import Monitor, cold, hot
+
+
+class EReqCpu(Event):
+    """client -> scheduler: request the CPU (payload: client id)"""
+
+
+class EGrantCpu(Event):
+    """scheduler -> client: the CPU is yours"""
+
+
+class EInterrupt(Event):
+    """interrupt source -> scheduler: drop everything and recover"""
+
+
+class ERecover(Event):
+    """scheduler -> scheduler: one recovery round"""
+
+
+class CpuProgressMonitor(Monitor):
+    """Liveness spec: every CPU request is eventually granted.
+
+    Mirrored automatically on sends of ``EReqCpu`` / ``EGrantCpu``."""
+
+    observes = (EReqCpu, EGrantCpu)
+
+    @cold
+    class Satisfied(State):
+        initial = True
+        transitions = {EReqCpu: "Starved"}
+        ignored = (EGrantCpu,)
+
+    @hot
+    class Starved(State):
+        transitions = {EGrantCpu: "Satisfied"}
+        ignored = (EReqCpu,)
+
+
+class SchedClient(Machine):
+    """Asks for the CPU once, halts when granted."""
+
+    class Running(State):
+        initial = True
+        entry = "ask"
+        actions = {EGrantCpu: "on_grant"}
+
+    def ask(self):
+        self.send(self.payload, EReqCpu(self.id))
+
+    def on_grant(self):
+        self.halt()
+
+
+class InterruptSource(Machine):
+    """Fires one interrupt at the scheduler, racing the client's request."""
+
+    class Firing(State):
+        initial = True
+        entry = "fire"
+
+    def fire(self):
+        self.send(self.payload, EInterrupt())
+        self.halt()
+
+
+class CpuScheduler(Machine):
+    """Grants requests from ``Idle``; an interrupt triggers one recovery
+    round during which requests are deferred."""
+
+    class Idle(State):
+        initial = True
+        entry = "noop"
+        actions = {EReqCpu: "on_request"}
+        transitions = {EInterrupt: "Recovering"}
+        ignored = (ERecover,)
+
+    class Recovering(State):
+        entry = "start_recovery"
+        deferred = (EReqCpu,)
+        transitions = {ERecover: "Idle"}
+        ignored = (EInterrupt,)
+
+    def noop(self):
+        pass
+
+    def on_request(self):
+        self.send(self.payload, EGrantCpu())
+
+    def start_recovery(self):
+        self.send(self.id, ERecover())
+
+
+class BuggyCpuScheduler(CpuScheduler):
+    """BUG: recovery re-enters itself on ``ERecover`` — each re-entry
+    sends a fresh ``ERecover``, so the scheduler spins forever with the
+    client's request deferred (livelock iff the interrupt was dequeued
+    before the request)."""
+
+    class Recovering(State):
+        entry = "start_recovery"
+        deferred = (EReqCpu,)
+        transitions = {ERecover: "Recovering"}
+        ignored = (EInterrupt,)
+
+
+class SchedulerDriver(Machine):
+    class Booting(State):
+        initial = True
+        entry = "setup"
+
+    scheduler_cls = CpuScheduler
+
+    def setup(self):
+        scheduler = self.create_machine(self.scheduler_cls)
+        self.create_machine(SchedClient, scheduler)
+        self.create_machine(InterruptSource, scheduler)
+        self.halt()
+
+
+class BuggySchedulerDriver(SchedulerDriver):
+    scheduler_cls = BuggyCpuScheduler
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="ProcessScheduler",
+        suite="liveness",
+        correct=Variant(
+            machines=[SchedulerDriver, CpuScheduler, SchedClient, InterruptSource],
+            main=SchedulerDriver,
+            monitors=(CpuProgressMonitor,),
+        ),
+        buggy=Variant(
+            machines=[
+                BuggySchedulerDriver,
+                BuggyCpuScheduler,
+                SchedClient,
+                InterruptSource,
+            ],
+            main=BuggySchedulerDriver,
+            monitors=(CpuProgressMonitor,),
+        ),
+        bug_kind="liveness",
+        notes="recovery spin starves a deferred CPU request; found via "
+        "hot-state temperature under a fair schedule",
+    )
+)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from ..core.events import Event, Halt
 from ..core.machine import Machine, State
+from ..testing.monitors import Monitor
 
 
 class EConfig(Event):
@@ -132,6 +133,38 @@ class SafetyChecker(Machine):
             )
         else:
             self.committed[index] = entry
+
+
+class ElectionSafetyMonitor(Monitor):
+    """Raft Election Safety as a specification monitor: at most one leader
+    per term.
+
+    Observes ``ELeaderElected`` at *send* time (auto-mirrored), so a
+    double election is caught the instant the second leader announces
+    itself — before the ``SafetyChecker`` machine even dequeues the
+    announcement.  Attach via the benchmark variant's ``monitors``."""
+
+    observes = (ELeaderElected,)
+
+    class Watching(State):
+        initial = True
+        entry = "setup"
+        actions = {ELeaderElected: "on_leader"}
+
+    def setup(self):
+        self.leaders = {}
+
+    def on_leader(self):
+        msg = self.payload
+        server = msg[0]
+        term = msg[1]
+        if term in self.leaders:
+            self.assert_that(
+                self.leaders[term] == server,
+                f"two leaders elected in term {term}",
+            )
+        else:
+            self.leaders[term] = server
 
 
 class RaftServer(Machine):
@@ -366,6 +399,7 @@ register(
         correct=Variant(
             machines=[RaftDriver, RaftServer, ElectionTimer, SafetyChecker],
             main=RaftDriver,
+            monitors=(ElectionSafetyMonitor,),
         ),
         racy=Variant(
             machines=[RacyRaftDriver, RacyRaftServer, ElectionTimer, SafetyChecker],
@@ -374,6 +408,7 @@ register(
         buggy=Variant(
             machines=[BuggyRaftDriver, BuggyRaftServer, ElectionTimer, SafetyChecker],
             main=BuggyRaftDriver,
+            monitors=(ElectionSafetyMonitor,),
         ),
         seeded_races=1,
         notes="heartbeat clears voted_for: two leaders in one term, deep",

@@ -34,12 +34,16 @@ class Variant:
     main: Type[Machine]
     payload: Any = None
     helpers: Tuple[type, ...] = ()
+    # Specification monitors (repro.testing.monitors) for this variant:
+    # pass to the engine/runtime ``monitors=`` parameter to test the
+    # program against its specifications.
+    monitors: Tuple[type, ...] = ()
 
 
 @dataclass
 class Benchmark:
     name: str
-    suite: str  # "psharpbench" | "soter" | "case-study"
+    suite: str  # "psharpbench" | "soter" | "case-study" | "liveness"
     correct: Variant
     racy: Optional[Variant] = None
     buggy: Optional[Variant] = None
@@ -115,6 +119,13 @@ def table2_suite() -> List[Benchmark]:
     return [b for b in suite("psharpbench") if b.buggy is not None]
 
 
+def liveness_suite() -> List[Benchmark]:
+    """Benchmarks whose buggy variant is a livelock/starvation found via
+    liveness-monitor temperature under a fair strategy (Section 7.2's
+    hot/cold specification machines)."""
+    return suite("liveness")
+
+
 _LOADED = False
 
 
@@ -131,7 +142,9 @@ def _ensure_loaded() -> None:
         chord,
         german,
         multi_paxos,
+        process_scheduler,
         raft,
         soter_suite,
+        token_ring,
         two_phase_commit,
     )

@@ -1,0 +1,201 @@
+"""TokenRing — token circulation under a noisy environment.
+
+Three nodes pass a token around a ring while a ``Pump`` machine ticks
+forever, pulsing nodes with background noise — so every execution is
+infinite and the ring's health is a pure *liveness* property: the token
+must keep completing circuits.  The ``TokenCirculationMonitor`` encodes
+it with hot/cold states, invoked *explicitly* by the nodes
+(``self.monitor(TokenCirculationMonitor, ...)`` — the ``Monitor<T>(e)``
+style of P#), a no-op when the spec is not attached.
+
+This benchmark is the fairness show-case:
+
+* Under an **unfair** strategy (DFS keeps picking the pump; PCT can
+  deprioritize the token holder indefinitely) the token starves without
+  any program bug — the old depth-bound heuristic would report a spurious
+  liveness violation, which is exactly why the runtime now refuses to
+  promote depth-bound cutoffs to bugs when ``strategy.is_fair()`` is
+  False.
+* Under a **fair** strategy the correct ring circulates forever (the
+  monitor keeps returning to its cold state; the execution ends as a
+  benign ``"depth-bound"``), while the buggy ring's dropped token leaves
+  the monitor hot and temperature-based detection names the hot state.
+
+Variants
+--------
+buggy
+    A node that has just absorbed a pulse is "distracted": if the token
+    arrives before the node shakes the distraction off, the node drops it
+    and circulation stops forever — interleaving-dependent, since the
+    pulse and the token race toward the same node.
+correct
+    Pulses are absorbed without consequence; the token circulates no
+    matter how the schedule interleaves the noise.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Event
+from ..core.machine import Machine, State
+from ..testing.monitors import Monitor, cold, hot
+
+
+class ERingConfig(Event):
+    """driver -> node: (next node id, is_origin)"""
+
+
+class EToken(Event):
+    """the circulating token"""
+
+
+class EPulse(Event):
+    """pump -> node: background noise"""
+
+
+class ETick(Event):
+    """pump -> pump: keep the environment alive forever"""
+
+
+class ETokenMoved(Event):
+    """node -> monitor (explicit): the token advanced mid-circuit"""
+
+
+class ECircuitComplete(Event):
+    """origin node -> monitor (explicit): the token closed a full circuit"""
+
+
+class TokenCirculationMonitor(Monitor):
+    """Liveness spec: the token keeps completing circuits of the ring."""
+
+    @cold
+    class AtOrigin(State):
+        initial = True
+        transitions = {ETokenMoved: "InFlight"}
+        ignored = (ECircuitComplete,)
+
+    @hot
+    class InFlight(State):
+        transitions = {ECircuitComplete: "AtOrigin"}
+        ignored = (ETokenMoved,)
+
+
+class RingNode(Machine):
+    """Forwards the token to its successor, reporting progress to the
+    circulation monitor."""
+
+    class Booting(State):
+        initial = True
+        entry = "noop"
+        transitions = {ERingConfig: "Relaying"}
+        deferred = (EToken, EPulse)
+
+    class Relaying(State):
+        entry = "configure"
+        actions = {EToken: "on_token", EPulse: "on_pulse"}
+
+    def noop(self):
+        pass
+
+    def configure(self):
+        config = self.payload
+        self.next_node = config[0]
+        self.is_origin = config[1]
+        self.distracted = False
+
+    def on_pulse(self):
+        pass
+
+    def on_token(self):
+        self.forward_token()
+
+    def forward_token(self):
+        if self.is_origin:
+            # Close the finished circuit, then immediately mark the next
+            # one as departed: the monitor is hot from the origin's
+            # forward until the token returns, so a drop *anywhere* in the
+            # ring leaves it hot.
+            self.monitor(TokenCirculationMonitor, ECircuitComplete())
+        self.monitor(TokenCirculationMonitor, ETokenMoved())
+        self.send(self.next_node, EToken())
+
+
+class BuggyRingNode(RingNode):
+    """BUG: a pulse distracts the node; a token arriving while distracted
+    is dropped on the floor and circulation stops forever."""
+
+    def on_pulse(self):
+        self.distracted = True
+
+    def on_token(self):
+        if self.distracted and not self.is_origin:
+            return  # the token is lost: the ring livelocks
+        self.forward_token()
+
+
+class Pump(Machine):
+    """Infinite environment: pulses ring nodes round-robin, forever."""
+
+    class Pumping(State):
+        initial = True
+        entry = "arm"
+        actions = {ETick: "on_tick"}
+
+    def arm(self):
+        self.targets = self.payload
+        self.cursor = 0
+        self.send(self.id, ETick())
+
+    def on_tick(self):
+        target = self.targets[self.cursor % len(self.targets)]
+        self.cursor = self.cursor + 1
+        self.send(target, EPulse())
+        self.send(self.id, ETick())
+
+
+class TokenRingDriver(Machine):
+    class Booting(State):
+        initial = True
+        entry = "setup"
+
+    node_cls = RingNode
+
+    def setup(self):
+        nodes = []
+        nodes.append(self.create_machine(self.node_cls))
+        nodes.append(self.create_machine(self.node_cls))
+        nodes.append(self.create_machine(self.node_cls))
+        for index, node in enumerate(nodes):
+            successor = nodes[(index + 1) % len(nodes)]
+            self.send(node, ERingConfig((successor, index == 0)))
+        # The pump only pulses non-origin nodes: a dropped token always
+        # leaves the monitor hot (mid-circuit), never cold-stuck.
+        self.create_machine(Pump, nodes[1:])
+        self.send(nodes[0], EToken())
+        self.halt()
+
+
+class BuggyTokenRingDriver(TokenRingDriver):
+    node_cls = BuggyRingNode
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="TokenRing",
+        suite="liveness",
+        correct=Variant(
+            machines=[TokenRingDriver, RingNode, Pump],
+            main=TokenRingDriver,
+            monitors=(TokenCirculationMonitor,),
+        ),
+        buggy=Variant(
+            machines=[BuggyTokenRingDriver, BuggyRingNode, Pump],
+            main=BuggyTokenRingDriver,
+            monitors=(TokenCirculationMonitor,),
+        ),
+        bug_kind="liveness",
+        notes="pulse-distracted node drops the token; starves under unfair "
+        "strategies, genuinely livelocks when the pulse beats the token",
+    )
+)

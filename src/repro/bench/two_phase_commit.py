@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..core.events import Event, Halt
 from ..core.machine import Machine, State
+from ..testing.monitors import Monitor
 
 
 class EPrepareReq(Event):
@@ -135,6 +136,41 @@ class AtomicityChecker(Machine):
             )
         else:
             self.decisions[txn] = committed
+
+
+class AtomicityMonitor(Monitor):
+    """2PC atomicity as a specification monitor: a transaction commits
+    only on a unanimous YES quorum.
+
+    Observes the protocol's wire events at *send* time (auto-mirrored):
+    it counts YES votes per transaction and fires the moment a commit
+    decision for an under-quorum transaction leaves the coordinator —
+    catching the premature-commit bug at its source, before any
+    participant (whose own assertion is the fallback check) applies it."""
+
+    observes = (EVote, ECommit)
+
+    class Tracking(State):
+        initial = True
+        entry = "setup"
+        actions = {EVote: "on_vote", ECommit: "on_commit"}
+
+    def setup(self):
+        self.yes_votes = {}
+
+    def on_vote(self):
+        msg = self.payload
+        txn = msg[1]
+        yes = msg[2]
+        if yes:
+            self.yes_votes[txn] = self.yes_votes.get(txn, 0) + 1
+
+    def on_commit(self):
+        txn = self.payload
+        self.assert_that(
+            self.yes_votes.get(txn, 0) >= 2,
+            f"transaction {txn} committed without a unanimous YES quorum",
+        )
 
 
 class Coordinator(Machine):
@@ -256,6 +292,7 @@ register(
         correct=Variant(
             machines=[Coordinator, Participant, AtomicityChecker, Timer],
             main=Coordinator,
+            monitors=(AtomicityMonitor,),
         ),
         racy=Variant(
             machines=[RacyCoordinator, Participant, AtomicityChecker, Timer],
@@ -264,6 +301,7 @@ register(
         buggy=Variant(
             machines=[BuggyCoordinator, Participant, AtomicityChecker, Timer],
             main=BuggyCoordinator,
+            monitors=(AtomicityMonitor,),
         ),
         seeded_races=1,
         notes="premature commit on timeout with partial YES votes",

@@ -80,6 +80,7 @@ class ChessRuntime(BugFindingRuntime):
         self._schedule_if_running()
 
     def on_event_dequeued(self, machine: Machine, event: Event) -> None:
+        super().on_event_dequeued(machine, event)  # monitor dequeue mirroring
         if self.race_detection:
             snapshot = self._event_clocks.pop(id(event), None)
             clock = self._clock(machine.id.value)

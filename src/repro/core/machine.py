@@ -58,6 +58,10 @@ class State:
     deferred: Tuple[Type[Event], ...] = ()
     ignored: Tuple[Type[Event], ...] = ()
     initial: bool = False
+    # Liveness temperature of the state: "hot" / "cold" / None.  Only
+    # meaningful on specification monitors (repro.testing.monitors); set
+    # with the ``@hot`` / ``@cold`` decorators or declared directly.
+    temperature: Optional[str] = None
 
 
 # Event dispositions, precomputed per (state, event class).  Ordered so
@@ -94,6 +98,7 @@ class StateInfo:
     deferred: frozenset
     ignored: frozenset
     initial: bool = False
+    temperature: Optional[str] = None
     # Compiled by _link_states (after validation):
     owner: Optional[type] = None
     entry_fn: Optional[Callable] = None
@@ -162,6 +167,7 @@ def _collect_states(cls: type) -> Dict[str, StateInfo]:
                     deferred=frozenset(attr.deferred),
                     ignored=frozenset(attr.ignored),
                     initial=bool(attr.initial),
+                    temperature=attr.temperature,
                 )
                 states[name] = info  # later (more derived) declarations win
     return states
@@ -377,6 +383,15 @@ class Machine:
         """Controlled nondeterministic integer in ``range(bound)`` (the
         ``GetNextChoice`` of Figure 1)."""
         return self._runtime.nondet_int(self, bound)
+
+    def monitor(self, monitor_cls: type, event: Event) -> None:
+        """Invoke a registered specification monitor with ``event`` (the
+        ``Monitor<T>(e)`` of P#).  Monitors execute synchronously in the
+        invoking machine's step and never consume scheduling decisions; an
+        invocation of a monitor class that is not registered with the
+        runtime is a no-op, so programs run unchanged without their
+        specifications attached."""
+        self._runtime.invoke_monitor(monitor_cls, event, source=self)
 
     def halt(self) -> None:
         """Halt this machine at the end of the current action."""

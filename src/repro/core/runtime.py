@@ -30,6 +30,9 @@ class RuntimeBase:
         self._next_id = 0
         self._error: Optional[BaseException] = None
         self._log_sink: Optional[Callable[[str], None]] = None
+        # Registered specification monitor instances (repro.testing
+        # .monitors); empty for runtimes without monitor support.
+        self._monitors: List[Any] = []
         # Precomputed so machines can skip the no-op dequeue hook call on
         # the hot path; True only for runtimes that override it (CHESS).
         self._hook_dequeued = (
@@ -83,6 +86,16 @@ class RuntimeBase:
     def on_machine_halted(self, machine: Machine) -> None:
         pass
 
+    def invoke_monitor(
+        self, monitor_cls: type, event: Event, source: Optional[Machine] = None
+    ) -> None:
+        """Deliver ``event`` to the registered instance of ``monitor_cls``.
+
+        The base implementation is a no-op: invoking a monitor that is not
+        registered (or on a runtime without monitor support) silently does
+        nothing, so instrumented programs run unchanged without their
+        specifications attached."""
+
     def on_event_dequeued(self, machine: Machine, event: Event) -> None:
         """Hook invoked when a machine dequeues an event (used by the
         CHESS baseline to add happens-before edges and visible ops)."""
@@ -107,6 +120,16 @@ class Runtime(RuntimeBase):
         self._stopping = False
         self._rng = random.Random(seed)
         self._idle = 0
+        # Memoized event-class -> observing-monitor tables (send/dequeue).
+        self._send_observer_cache: Dict[type, tuple] = {}
+        self._dequeue_observer_cache: Dict[type, tuple] = {}
+        # This class overrides on_event_dequeued for monitor mirroring,
+        # but the hook only needs to run once a dequeue-observing monitor
+        # is registered — keep the no-monitor hot path unhooked while
+        # preserving the base contract for further subclass overrides.
+        self._hook_dequeued = (
+            type(self).on_event_dequeued is not Runtime.on_event_dequeued
+        )
 
     # ------------------------------------------------------------------
     def run(self, main_cls: Type[Machine], payload: Any = None) -> "Runtime":
@@ -137,11 +160,77 @@ class Runtime(RuntimeBase):
         self, target: MachineId, event: Event, sender: Optional[Machine] = None
     ) -> None:
         with self._cv:
+            if self._monitors:
+                self._mirror_to_monitors(event)
             machine = self._machines.get(target)
             if machine is None or machine.is_halted:
                 return  # events to halted machines are dropped
             machine._enqueue(event)
             self._cv.notify_all()
+
+    # -- specification monitors (repro.testing.monitors) -----------------
+    def register_monitor(self, monitor_cls: type) -> None:
+        """Attach a specification monitor; its handlers run synchronously
+        under the runtime lock, so observations are serialized even though
+        machine handlers run on concurrent threads.  All three mirroring
+        hooks work here: ``observes`` (send), ``observes_dequeue``
+        (delivery) and ``EMachineHalted`` (halt)."""
+        with self._cv:
+            index = len(self._monitors)
+            instance = monitor_cls(self, MachineId(-(index + 1), monitor_cls.__name__))
+            self._monitors.append(instance)
+            # Observer matching is memoized per event class; a fresh
+            # registration invalidates the tables.
+            self._send_observer_cache = {}
+            self._dequeue_observer_cache = {}
+            if instance.observes_dequeue:
+                self._hook_dequeued = True
+            instance._boot()
+
+    def invoke_monitor(
+        self, monitor_cls: type, event: Event, source: Optional[Machine] = None
+    ) -> None:
+        with self._cv:
+            for instance in self._monitors:
+                if type(instance) is monitor_cls:
+                    instance._observe(event)
+                    return
+
+    def on_event_dequeued(self, machine: Machine, event: Event) -> None:
+        with self._cv:
+            for instance in self._matching_monitors(
+                type(event), self._dequeue_observer_cache, "observes_dequeue"
+            ):
+                instance._observe(event)
+
+    def on_machine_halted(self, machine: Machine) -> None:
+        if not self._monitors:
+            return
+        from ..testing.monitors import EMachineHalted
+
+        with self._cv:
+            for instance in self._matching_monitors(
+                EMachineHalted, self._send_observer_cache, "observes"
+            ):
+                instance._observe(EMachineHalted(machine.id))
+
+    def _matching_monitors(
+        self, event_cls: type, cache: Dict[type, tuple], attr: str
+    ) -> tuple:
+        observers = cache.get(event_cls)
+        if observers is None:
+            observers = tuple(
+                m for m in self._monitors
+                if any(issubclass(event_cls, obs) for obs in getattr(m, attr))
+            )
+            cache[event_cls] = observers
+        return observers
+
+    def _mirror_to_monitors(self, event: Event) -> None:
+        for instance in self._matching_monitors(
+            type(event), self._send_observer_cache, "observes"
+        ):
+            instance._observe(event)
 
     def nondet(self, machine: Machine) -> bool:
         return bool(self._rng.getrandbits(1))

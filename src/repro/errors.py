@@ -62,11 +62,48 @@ class ActionError(PSharpError):
 
 
 class LivenessError(PSharpError):
-    """The depth bound was exceeded; reported as a potential livelock.
+    """A liveness violation: either a specification monitor stayed hot
+    beyond the temperature threshold (or was hot at program termination),
+    or — the legacy heuristic of Section 7.2.2 — the depth bound was
+    exceeded under a fair schedule.
 
-    Section 7.2.2 describes detecting the German-benchmark livelock by
-    imposing a depth bound on schedules.
+    Carries enough structure for actionable reports: the offending
+    ``monitor`` name and its hot ``state`` (temperature detection), the
+    last scheduled ``machine`` (depth-bound detection), and the ``step``
+    count at which the violation was declared.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        monitor: Optional[str] = None,
+        state: Optional[str] = None,
+        machine: Optional[Any] = None,
+        step: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.monitor = monitor
+        self.state = state
+        self.machine = machine
+        self.step = step
+
+
+class MonitorError(PSharpError):
+    """A safety specification monitor's assertion failed.
+
+    Wraps the underlying :class:`AssertionFailure` so monitor-detected
+    violations are reported distinctly (bug kind ``"monitor"``) from
+    in-program assertions, with the monitor and its current state named.
+    """
+
+    def __init__(self, monitor: Any, message: str) -> None:
+        self.monitor = monitor
+        self.state = getattr(monitor, "current_state", None)
+        super().__init__(
+            f"specification monitor {type(monitor).__name__} "
+            f"(state {self.state!r}) violated: {message}"
+        )
 
 
 class ExecutionCanceled(BaseException):

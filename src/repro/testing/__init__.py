@@ -1,6 +1,7 @@
 """Systematic concurrency testing for P# programs (Section 6.2)."""
 
 from .engine import TestingEngine, TestReport, drive, replay
+from .monitors import EMachineHalted, Monitor, cold, has_hot_states, hot
 from .portfolio import (
     PortfolioEngine,
     StrategySpec,
@@ -18,6 +19,7 @@ from .runtime import (
 from .strategies import (
     DelayBoundingStrategy,
     DfsStrategy,
+    FairRandomStrategy,
     IterativeDeepeningDfsStrategy,
     PctStrategy,
     RandomStrategy,
@@ -31,6 +33,11 @@ __all__ = [
     "TestReport",
     "drive",
     "replay",
+    "Monitor",
+    "EMachineHalted",
+    "hot",
+    "cold",
+    "has_hot_states",
     "PortfolioEngine",
     "StrategySpec",
     "default_portfolio",
@@ -45,6 +52,7 @@ __all__ = [
     "DfsStrategy",
     "IterativeDeepeningDfsStrategy",
     "RandomStrategy",
+    "FairRandomStrategy",
     "ReplayStrategy",
     "PctStrategy",
     "DelayBoundingStrategy",

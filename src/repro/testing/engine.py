@@ -157,6 +157,8 @@ def drive(
     deadline: Optional[float] = None,
     stop_check: Optional[Callable[[], bool]] = None,
     workers: str = "pool",
+    monitors: Sequence[type] = (),
+    max_hot_steps: int = 1000,
 ) -> TestReport:
     """The iteration loop shared by :class:`TestingEngine` and portfolio
     workers: run up to ``max_iterations`` schedules under ``strategy``.
@@ -174,6 +176,11 @@ def drive(
     single long schedule cannot overshoot the budget.  ``stop_check`` is
     polled between iterations and inside them — the portfolio's
     first-bug-wins cancellation.
+
+    ``monitors`` attaches specification monitor classes
+    (:mod:`repro.testing.monitors`) to every execution; ``max_hot_steps``
+    is the liveness temperature threshold (see
+    :class:`~repro.testing.runtime.BugFindingRuntime`).
     """
     factory = runtime_factory or BugFindingRuntime
     report = TestReport(strategy=strategy.name)
@@ -190,6 +197,8 @@ def drive(
             deadline=deadline,
             stop_check=stop_check,
             workers=workers,
+            monitors=monitors,
+            max_hot_steps=max_hot_steps,
         )
 
     runtime = build_runtime()
@@ -262,6 +271,8 @@ class TestingEngine:
         record_traces: bool = True,
         runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
         workers: str = "pool",
+        monitors: Sequence[type] = (),
+        max_hot_steps: int = 1000,
     ) -> None:
         self.main_cls = main_cls
         self.payload = payload
@@ -274,6 +285,8 @@ class TestingEngine:
         self.record_traces = record_traces
         self.runtime_factory = runtime_factory or BugFindingRuntime
         self.workers = workers
+        self.monitors = tuple(monitors)
+        self.max_hot_steps = max_hot_steps
 
     def run(
         self,
@@ -294,6 +307,8 @@ class TestingEngine:
             deadline=deadline,
             stop_check=stop_check,
             workers=self.workers,
+            monitors=self.monitors,
+            max_hot_steps=self.max_hot_steps,
         )
 
 
@@ -304,18 +319,23 @@ def replay(
     max_steps: int = 20_000,
     livelock_as_bug: bool = False,
     workers: str = "pool",
+    monitors: Sequence[type] = (),
+    max_hot_steps: int = 1000,
 ) -> ExecutionResult:
     """Deterministically re-execute a recorded schedule.
 
     This is the paper's bug-reproduction workflow: a found bug's trace is
     replayed to observe the same failure again.  Replay is back-end
     agnostic: a trace recorded under either worker mode replays under
-    either mode.
+    either mode.  Pass the same ``monitors`` (and ``max_hot_steps``) the
+    bug was found with: monitor-detected safety and liveness violations
+    reproduce, and the re-recorded trace is bit-identical to the original.
     """
     strategy = ReplayStrategy(trace)
     strategy.prepare_iteration()
     runtime = BugFindingRuntime(
         strategy, max_steps=max_steps, record_trace=True,
         livelock_as_bug=livelock_as_bug, workers=workers,
+        monitors=monitors, max_hot_steps=max_hot_steps,
     )
     return runtime.execute(main_cls, payload)

@@ -40,6 +40,7 @@ from .runtime import ExecutionResult
 from .strategies import (
     DelayBoundingStrategy,
     DfsStrategy,
+    FairRandomStrategy,
     IterativeDeepeningDfsStrategy,
     PctStrategy,
     RandomStrategy,
@@ -82,6 +83,7 @@ StrategyFactory = Callable[..., SchedulingStrategy]
 
 _STRATEGY_FACTORIES: Dict[str, StrategyFactory] = {
     "random": RandomStrategy,
+    "fair-random": FairRandomStrategy,
     "dfs": DfsStrategy,
     "iddfs": IterativeDeepeningDfsStrategy,
     "pct": PctStrategy,
@@ -123,9 +125,13 @@ _DEFAULT_TEMPLATES: Tuple[Tuple[str, Dict[str, Any]], ...] = (
     ("delay-bounding", {"delays": 4}),
     ("pct", {"depth": 20}),
     ("delay-bounding", {"delays": 8}),
+    # The fair scheduler rides at the end of the cycle: wide portfolios
+    # gain a worker whose long executions stay meaningful, which is what
+    # liveness-monitor temperature detection needs.
+    ("fair-random", {}),
 )
 
-_SEEDED = {"random", "pct", "delay-bounding"}
+_SEEDED = {"random", "fair-random", "pct", "delay-bounding"}
 
 
 def default_portfolio(workers: int, seed: Optional[int] = None) -> List[StrategySpec]:
@@ -175,6 +181,8 @@ def _portfolio_worker(
             deadline=deadline,
             stop_check=cancel.is_set,
             workers=config["runtime_workers"],
+            monitors=config["monitors"],
+            max_hot_steps=config["max_hot_steps"],
         )
         if config["stop_on_first_bug"] and report.first_bug is not None:
             cancel.set()
@@ -223,6 +231,8 @@ class PortfolioEngine:
         livelock_as_bug: bool = False,
         start_method: Optional[str] = None,
         runtime_workers: str = "pool",
+        monitors: Sequence[type] = (),
+        max_hot_steps: int = 1000,
     ) -> None:
         if specs is None:
             specs = default_portfolio(workers if workers is not None else 4, seed)
@@ -252,6 +262,10 @@ class PortfolioEngine:
         # Worker back-end each subprocess's runtime uses: every portfolio
         # worker gets its own process-local pooled runtime by default.
         self.runtime_workers = runtime_workers
+        # Monitor *classes* ship to workers (picklable by reference, like
+        # the program's machine classes); instances are per-execution.
+        self.monitors = tuple(monitors)
+        self.max_hot_steps = max_hot_steps
         if start_method is None:
             # fork shares the already-imported program modules with workers;
             # fall back to the platform default elsewhere.
@@ -272,6 +286,8 @@ class PortfolioEngine:
             "stop_on_first_bug": self.stop_on_first_bug,
             "livelock_as_bug": self.livelock_as_bug,
             "runtime_workers": self.runtime_workers,
+            "monitors": self.monitors,
+            "max_hot_steps": self.max_hot_steps,
         }
         processes = []
         wall_start = time.perf_counter()
@@ -366,4 +382,6 @@ class PortfolioEngine:
             payload=self.payload,
             max_steps=self.max_steps,
             livelock_as_bug=self.livelock_as_bug,
+            monitors=self.monitors,
+            max_hot_steps=self.max_hot_steps,
         )

@@ -46,7 +46,7 @@ import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..core.events import Event, MachineId
 from ..core.machine import Machine
@@ -57,11 +57,23 @@ from ..errors import (
     BugReport,
     ExecutionCanceled,
     LivenessError,
+    MonitorError,
     PSharpError,
     UnhandledEventError,
 )
+from .monitors import EMachineHalted, Monitor, has_hot_states
 from .strategies import SchedulingStrategy
-from .trace import BOOL_TAG, INT_TAG, SCHED_TAG, ScheduleTrace
+from .trace import (
+    BOOL_TAG,
+    INT_TAG,
+    LIVENESS_TAG,
+    MONITOR_TAG,
+    SCHED_TAG,
+    ScheduleTrace,
+)
+
+# Sentinel "no hot monitor" deadline: any real step count compares below.
+_NO_DEADLINE = float("inf")
 
 
 class _WorkerState(Enum):
@@ -290,6 +302,20 @@ class BugFindingRuntime(RuntimeBase):
     pool:
         The :class:`WorkerPool` to draw pooled workers from; defaults to
         the shared process-wide pool.
+    monitors:
+        Specification monitor classes (:class:`~repro.testing.monitors
+        .Monitor` subclasses) attached to every execution.  Each execution
+        gets fresh instances; observed events are mirrored to them
+        synchronously, assertion failures become ``"monitor"`` bugs, and
+        liveness monitors (any hot state) enable temperature detection.
+    max_hot_steps:
+        Temperature threshold: a liveness monitor that stays hot for more
+        than this many consecutive steps under a *fair* strategy
+        (``strategy.is_fair()``) reports a ``"liveness"`` bug naming the
+        hot monitor state.  A monitor that is hot when the program
+        terminates is reported regardless of the strategy's fairness.
+        When liveness monitors are attached they are authoritative: the
+        legacy ``livelock_as_bug`` depth-bound heuristic is suppressed.
     """
 
     # How many scheduling steps between deadline/stop_check polls: the
@@ -310,10 +336,17 @@ class BugFindingRuntime(RuntimeBase):
         stop_check: Optional[Callable[[], bool]] = None,
         workers: str = "pool",
         pool: Optional[WorkerPool] = None,
+        monitors: Sequence[Type[Monitor]] = (),
+        max_hot_steps: int = 1000,
     ) -> None:
         super().__init__()
         if workers not in ("pool", "spawn"):
             raise ValueError(f"workers must be 'pool' or 'spawn', got {workers!r}")
+        for monitor_cls in monitors:
+            if not (isinstance(monitor_cls, type) and issubclass(monitor_cls, Monitor)):
+                raise ValueError(
+                    f"monitors must be Monitor subclasses, got {monitor_cls!r}"
+                )
         self.strategy = strategy
         self.max_steps = max_steps
         self.record_trace = record_trace
@@ -321,6 +354,9 @@ class BugFindingRuntime(RuntimeBase):
         self.deadline = deadline
         self.stop_check = stop_check
         self.workers = workers
+        self.monitors: Tuple[Type[Monitor], ...] = tuple(monitors)
+        self.max_hot_steps = max_hot_steps
+        self._has_liveness_monitors = any(has_hot_states(m) for m in self.monitors)
         self._pool = pool if pool is not None else _shared_pool
         self._hook_visible = (
             type(self).on_visible_operation
@@ -375,6 +411,45 @@ class BugFindingRuntime(RuntimeBase):
         self._bound: List[_PoolWorker] = []
         self._live = 0
         self._all_retired.clear()
+        # Specification monitors: fresh instances per execution (their
+        # state is per-schedule), lazily memoized event->observers tables,
+        # and temperature bookkeeping.  ``_hot_deadline`` is the earliest
+        # step at which some hot monitor exceeds the threshold — a single
+        # comparison on the counting hot path.
+        self._monitors = []
+        self._monitor_by_class: Dict[type, Monitor] = {}
+        self._send_observers: Dict[type, tuple] = {}
+        self._dequeue_observers: Dict[type, tuple] = {}
+        self._hot_since: Dict[Monitor, int] = {}
+        self._hot_deadline = _NO_DEADLINE
+        # Temperature detection needs fairness: under an unfair strategy a
+        # monitor can stay hot forever because the strategy starves the
+        # machine that would cool it, not because the program livelocks.
+        self._temp_enabled = self._has_liveness_monitors and self.strategy.is_fair()
+        # Replay probe (ReplayStrategy.temperature_may_fire): non-None
+        # when the strategy replays a recorded schedule, gating the
+        # temperature check to fire exactly where the recorded run did
+        # (see _count_step).
+        self._replay_probe = getattr(self.strategy, "temperature_may_fire", None)
+        self._monitors_attached = bool(self.monitors)
+        # Dequeue mirroring rides the existing hook flag; keep it hot only
+        # for subclasses that override the hook (CHESS) or when some
+        # attached monitor observes at dequeue time.
+        self._hook_dequeued = (
+            type(self).on_event_dequeued is not BugFindingRuntime.on_event_dequeued
+            or any(m.observes_dequeue for m in self.monitors)
+        )
+        for index, monitor_cls in enumerate(self.monitors):
+            instance = monitor_cls(
+                self, MachineId(-(index + 1), monitor_cls.__name__)
+            )
+            instance._monitor_index = index
+            self._monitors.append(instance)
+            self._monitor_by_class[monitor_cls] = instance
+        for instance in self._monitors:
+            instance._boot()
+            if self._temp_enabled and instance.is_hot:
+                self._note_temperature(instance)
 
     def close(self) -> None:
         """Shut down a privately owned worker pool (no-op for the shared
@@ -453,6 +528,10 @@ class BugFindingRuntime(RuntimeBase):
     def send(
         self, target: MachineId, event: Event, sender: Optional[Machine] = None
     ) -> None:
+        if self._monitors_attached:
+            observers = self._observers_for(type(event), self._send_observers, "observes")
+            if observers:
+                self._deliver_to_monitors(observers, event)
         machine = self._machines.get(target)
         if machine is not None and not machine._halted:
             machine._inbox.append(event)
@@ -481,6 +560,145 @@ class BugFindingRuntime(RuntimeBase):
         worker = self._workers.get(machine.id)
         if worker is not None:
             worker.state = _DONE
+        if self._monitors_attached:
+            observers = self._observers_for(
+                EMachineHalted, self._send_observers, "observes"
+            )
+            if observers:
+                self._deliver_to_monitors(observers, EMachineHalted(machine.id))
+
+    def on_event_dequeued(self, machine: Machine, event: Event) -> None:
+        if self._monitors_attached:
+            observers = self._observers_for(
+                type(event), self._dequeue_observers, "observes_dequeue"
+            )
+            if observers:
+                self._deliver_to_monitors(observers, event)
+
+    # ------------------------------------------------------------------
+    # Specification monitors
+    # ------------------------------------------------------------------
+    def invoke_monitor(
+        self, monitor_cls: type, event: Event, source: Optional[Machine] = None
+    ) -> None:
+        """Explicit monitor invocation (``machine.monitor(Cls, event)``).
+
+        A no-op when ``monitor_cls`` is not attached, so instrumented
+        programs run unchanged without their specifications."""
+        instance = self._monitor_by_class.get(monitor_cls)
+        if instance is not None:
+            self._deliver_to_monitors((instance,), event)
+
+    def _observers_for(self, event_cls: type, table: Dict[type, tuple], attr: str) -> tuple:
+        observers = table.get(event_cls)
+        if observers is None:
+            observers = tuple(
+                m for m in self._monitors
+                if any(issubclass(event_cls, o) for o in getattr(m, attr))
+            )
+            table[event_cls] = observers
+        return observers
+
+    def _deliver_to_monitors(self, observers: tuple, event: Event) -> None:
+        """Run ``event`` through each observing monitor synchronously.
+
+        Every invocation is recorded in the trace (kind ``"monitor"``,
+        value: the monitor's registration index) so traces with
+        specifications attached stay bit-identical across worker back-ends
+        and replays.  Monitor assertion failures surface as
+        :class:`MonitorError` (bug kind ``"monitor"``)."""
+        trace = self._trace
+        for instance in observers:
+            if trace is not None:
+                trace.append(MONITOR_TAG, instance._monitor_index)
+            try:
+                instance._observe(event)
+            except AssertionFailure as exc:
+                message = str(exc)
+                prefix = f"{instance!r}: "
+                if message.startswith(prefix):  # assert_that's own naming
+                    message = message[len(prefix):]
+                raise MonitorError(instance, message) from exc
+            except UnhandledEventError as exc:
+                # A spec-authoring defect (observed event unhandled in the
+                # monitor's current state): blame the monitor, not the
+                # innocent machine whose send mirrored the event.
+                raise MonitorError(instance, str(exc)) from exc
+            if self._temp_enabled:
+                self._note_temperature(instance)
+
+    def _note_temperature(self, instance: Monitor) -> None:
+        """Update hot-state bookkeeping after ``instance`` processed an
+        event.  A monitor stays "hot since" its first hot observation until
+        it reaches any non-hot state (hot-to-hot transitions keep
+        accumulating temperature, as in P#'s liveness monitors)."""
+        hot_since = self._hot_since
+        if instance.is_hot:
+            if instance not in hot_since:
+                hot_since[instance] = self._steps
+                deadline = self._steps + self.max_hot_steps
+                if deadline < self._hot_deadline:
+                    self._hot_deadline = deadline
+        elif instance in hot_since:
+            del hot_since[instance]
+            self._hot_deadline = (
+                min(hot_since.values()) + self.max_hot_steps
+                if hot_since else _NO_DEADLINE
+            )
+
+    def _report_hot_liveness(self) -> None:
+        """A monitor exceeded the temperature threshold: report a liveness
+        bug naming the hot monitor state (Section 7.2's hot/cold liveness
+        detection, replacing the bare depth-bound heuristic)."""
+        instance = min(self._hot_since, key=self._hot_since.get)
+        since = self._hot_since[instance]
+        state = instance.current_state
+        if self._trace is not None:
+            # The firing is part of the schedule record: replay uses it to
+            # fire at exactly this point, and its absence in a trace
+            # proves the recorded run survived its hot stretches.
+            self._trace.append(LIVENESS_TAG, instance._monitor_index)
+        message = (
+            f"liveness violation: monitor {type(instance).__name__} stayed hot "
+            f"in state {state!r} for {self._steps - since} fair steps "
+            f"(threshold {self.max_hot_steps}, hot since step {since})"
+        )
+        self._report_bug(
+            "liveness",
+            message,
+            instance,
+            LivenessError(
+                message,
+                monitor=type(instance).__name__,
+                state=state,
+                step=self._steps,
+            ),
+        )
+
+    def _check_monitors_at_termination(self) -> None:
+        """A liveness monitor that is hot when the program terminates is a
+        definitive violation — no fairness argument needed, the program
+        finished and the obligation was never met."""
+        for instance in self._monitors:
+            if instance.is_hot:
+                state = instance.current_state
+                message = (
+                    f"liveness violation: monitor {type(instance).__name__} is "
+                    f"hot in state {state!r} at program termination "
+                    f"(step {self._steps})"
+                )
+                self._report_bug(
+                    "liveness",
+                    message,
+                    instance,
+                    LivenessError(
+                        message,
+                        monitor=type(instance).__name__,
+                        state=state,
+                        step=self._steps,
+                    ),
+                )
+                return
 
     # Hook for the CHESS baseline: called on extra visible operations
     # (queue ops, field accesses).  The base runtime ignores them — this is
@@ -541,6 +759,8 @@ class BugFindingRuntime(RuntimeBase):
             self._handoff(worker, voluntary=False)
         except ExecutionCanceled:
             pass
+        except MonitorError as exc:
+            self._report_bug("monitor", str(exc), exc.monitor, exc)
         except AssertionFailure as exc:
             self._report_bug("assertion-failure", str(exc), machine, exc)
         except UnhandledEventError as exc:
@@ -613,6 +833,11 @@ class BugFindingRuntime(RuntimeBase):
         """Give up control without remaining schedulable (idle or done)."""
         enabled = self._schedulable()
         if not enabled:
+            if self._monitors_attached:
+                # Terminal quiescence: a still-hot liveness monitor turns
+                # the "ok" outcome into a liveness bug (_finish("ok")
+                # below is then a no-op — first finish wins).
+                self._check_monitors_at_termination()
             self._finish("ok")
             # Block until cancellation unwinds this thread; the only wake
             # that can arrive here is the end-of-execution permit.
@@ -635,6 +860,18 @@ class BugFindingRuntime(RuntimeBase):
     def _count_step(self) -> None:
         steps = self._steps + 1
         self._steps = steps
+        if steps > self._hot_deadline:
+            # A liveness monitor stayed hot beyond the temperature
+            # threshold under a fair schedule: the precise detection,
+            # checked before the blunt depth bound below.  During replay
+            # the probe restricts firing to exactly where the recorded
+            # run fired (its trailing "liveness" trace marker) — a
+            # recorded run that survived this hot stretch must be
+            # replayed to *its* bug, not raced to a different one.
+            probe = self._replay_probe
+            if probe is None or probe():
+                self._report_hot_liveness()
+                raise ExecutionCanceled()
         if self._poll and (steps & self._POLL_MASK) == 0:
             if self.deadline is not None and time.monotonic() >= self.deadline:
                 self._finish("time-bound")
@@ -643,13 +880,41 @@ class BugFindingRuntime(RuntimeBase):
                 self._finish("stopped")
                 raise ExecutionCanceled()
         if steps > self.max_steps:
-            if self.livelock_as_bug:
+            # The depth-bound heuristic only means "potential livelock"
+            # when (a) the caller asked for it, (b) the strategy is fair —
+            # under DFS/PCT a long schedule is usually the strategy
+            # starving a machine, not the program spinning — and (c)
+            # temperature detection is not armed.  Armed means it *could
+            # have fired* before this cutoff (liveness monitors attached,
+            # fair strategy, threshold below the depth bound): reaching
+            # the bound with every monitor cool then proves the spin is
+            # benign.  A threshold at or above max_steps can never fire,
+            # so it must not suppress the heuristic.
+            temperature_armed = (
+                self._temp_enabled and self.max_hot_steps < self.max_steps
+            )
+            # A diverged replay (recorded decisions exhausted early, the
+            # unfair first-enabled fallback running since) must not
+            # fabricate a livelock the recorded run never reported; a
+            # faithful reproduction hits this cutoff with diverged False.
+            diverged_replay = getattr(self.strategy, "diverged", False)
+            if (
+                self.livelock_as_bug
+                and self.strategy.is_fair()
+                and not temperature_armed
+                and not diverged_replay
+            ):
+                machine = self._machines.get(self._current)
+                message = (
+                    f"depth bound of {self.max_steps} scheduling steps "
+                    f"exceeded at step {steps} (last scheduled machine: "
+                    f"{machine}): potential livelock"
+                )
                 self._report_bug(
                     "liveness",
-                    f"depth bound of {self.max_steps} steps exceeded: "
-                    "potential livelock",
-                    None,
-                    LivenessError("depth bound exceeded"),
+                    message,
+                    machine,
+                    LivenessError(message, machine=machine, step=steps),
                     finish_status="bug",
                 )
             else:

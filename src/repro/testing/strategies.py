@@ -14,7 +14,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
 from ..core.events import MachineId
-from .trace import BOOL, INT, SCHED, ScheduleTrace
+from .trace import BOOL, INT, LIVENESS, MONITOR, SCHED, ScheduleTrace
 
 
 class SchedulingStrategy(ABC):
@@ -219,17 +219,93 @@ class RandomStrategy(SchedulingStrategy):
         return True
 
 
+class FairRandomStrategy(SchedulingStrategy):
+    """A round-robin-biased random walk that satisfies :meth:`is_fair`.
+
+    At every decision the strategy flips a (seeded) coin: with probability
+    ``bias`` it runs the *least recently scheduled* enabled machine (the
+    round-robin component that bounds how long any enabled machine can
+    starve), otherwise it picks uniformly at random (the exploration
+    component).  Plain random scheduling is fair with probability 1 but
+    its starvation horizon grows with the machine count; the round-robin
+    bias keeps the horizon short enough for tight liveness-monitor
+    temperature thresholds to be meaningful (Section 7.2's fair schedules
+    for hot/cold liveness detection).
+    """
+
+    name = "fair-random"
+
+    def __init__(self, seed: Optional[int] = None, bias: float = 0.5) -> None:
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError(f"bias must be in [0, 1], got {bias}")
+        self._seed = seed if seed is not None else random.randrange(2**31)
+        self._bias = bias
+        self._iteration = -1
+        self._rng = random.Random(self._seed)
+        self._last_run: dict = {}  # MachineId -> step it last ran
+        self._step = 0
+
+    def prepare_iteration(self) -> bool:
+        self._iteration += 1
+        self._rng.seed(self._seed * 1_000_003 + self._iteration)
+        self._last_run = {}
+        self._step = 0
+        return True
+
+    def observe_forced(self, choice: MachineId) -> None:
+        # Forced points count as steps and as "the machine ran", so the
+        # round-robin ordering reflects actual execution recency whether
+        # or not the runtime's forced-decision fast path fired.
+        self._step += 1
+        self._last_run[choice] = self._step
+
+    def pick_machine(
+        self, enabled: Sequence[MachineId], current: Optional[MachineId]
+    ) -> MachineId:
+        self._step += 1
+        if self._rng.random() < self._bias:
+            last = self._last_run
+            # Never-scheduled machines (default -1) win; ties break on id,
+            # keeping the choice deterministic for a fixed seed.
+            choice = min(enabled, key=lambda m: (last.get(m, -1), m.value))
+        else:
+            choice = enabled[self._rng.randrange(len(enabled))]
+        self._last_run[choice] = self._step
+        return choice
+
+    def pick_bool(self) -> bool:
+        return bool(self._rng.getrandbits(1))
+
+    def pick_int(self, bound: int) -> int:
+        return self._rng.randrange(bound)
+
+    def is_fair(self) -> bool:
+        return True
+
+
 class ReplayStrategy(SchedulingStrategy):
     """Deterministically replays a recorded :class:`ScheduleTrace`.
 
     Once the trace is exhausted (e.g. when replaying a prefix), falls back
     to the first enabled machine so that the execution still terminates.
+
+    Monitor-invocation entries (kind ``"monitor"``) and temperature
+    firings (kind ``"liveness"``) are runtime-recorded observations, not
+    strategy decisions; they are filtered out here and re-recorded
+    deterministically by the replaying runtime — the liveness marker's
+    presence additionally tells the runtime whether (and that only at the
+    recorded end) a temperature bug should fire during this replay.
     """
 
     name = "replay"
 
     def __init__(self, trace: ScheduleTrace) -> None:
-        self._trace = list(trace.decisions)
+        self._trace = [
+            d for d in trace.decisions if d[0] != MONITOR and d[0] != LIVENESS
+        ]
+        self._liveness_recorded = any(
+            kind == LIVENESS for kind, _ in trace.decisions
+        )
         self._pos = 0
         self._ran = False
         self.diverged = False
@@ -280,6 +356,24 @@ class ReplayStrategy(SchedulingStrategy):
         if value is None or value >= bound:
             return 0
         return value
+
+    def is_fair(self) -> bool:
+        """Replay preserves the recorded schedule exactly, so liveness
+        temperature checks stay armed: a monitor-reported liveness bug
+        found under a fair strategy reproduces under replay."""
+        return True
+
+    def temperature_may_fire(self) -> bool:
+        """Whether the runtime may fire a temperature liveness bug *now*.
+
+        Only once the recorded decisions are exhausted, and only when the
+        recorded run itself ended in a temperature firing (the trace's
+        ``"liveness"`` marker).  Decisions past the would-fire point — or
+        a trace with no marker at all — prove the recorded run survived
+        its hot stretches (unfair exploration, or the monitor cooled, or
+        the bug was something else entirely), so replay defers to the
+        recorded schedule instead of racing it to a different bug."""
+        return self._liveness_recorded and self._pos >= len(self._trace)
 
 
 class PctStrategy(SchedulingStrategy):

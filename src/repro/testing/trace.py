@@ -24,15 +24,34 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 SCHED = "sched"
 BOOL = "bool"
 INT = "int"
+# Monitor invocations are not strategy decisions — they are runtime-level
+# observations recorded so traces with specifications attached stay
+# comparable bit-for-bit across worker back-ends.  Replay ignores them
+# (ReplayStrategy filters them out) and re-records them deterministically.
+MONITOR = "monitor"
+# A temperature liveness firing (value: the hot monitor's registration
+# index), appended when the runtime reports a hot-state liveness bug.
+# Replay uses it to fire at exactly the recorded point — and, crucially,
+# its absence proves the recorded run survived its hot stretches, so
+# replay defers to the recorded schedule instead of racing it.
+LIVENESS = "liveness"
 
 # Compact kind tags used in the flat encoding; the string kinds above
 # remain the public vocabulary (and the wire format).
 SCHED_TAG = 0
 BOOL_TAG = 1
 INT_TAG = 2
+MONITOR_TAG = 3
+LIVENESS_TAG = 4
 
-_TAG_OF = {SCHED: SCHED_TAG, BOOL: BOOL_TAG, INT: INT_TAG}
-_KIND_OF = (SCHED, BOOL, INT)
+_TAG_OF = {
+    SCHED: SCHED_TAG,
+    BOOL: BOOL_TAG,
+    INT: INT_TAG,
+    MONITOR: MONITOR_TAG,
+    LIVENESS: LIVENESS_TAG,
+}
+_KIND_OF = (SCHED, BOOL, INT, MONITOR, LIVENESS)
 
 Decision = Tuple[str, int]
 
@@ -103,6 +122,10 @@ class ScheduleTrace:
                 parts.append(f"m{value}")
             elif tag == BOOL_TAG:
                 parts.append("T" if value else "F")
+            elif tag == MONITOR_TAG:
+                parts.append(f"obs{value}")
+            elif tag == LIVENESS_TAG:
+                parts.append(f"hot!{value}")
             else:
                 parts.append(f"i{value}")
         return " ".join(parts)
