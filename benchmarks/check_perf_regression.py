@@ -6,7 +6,16 @@ The perf-smoke CI job copies the committed baseline aside, regenerates the
 trajectory file by running ``benchmarks/test_portfolio_throughput.py``
 (which overwrites ``BENCH_throughput.json`` in place), then runs::
 
-    python benchmarks/check_perf_regression.py BASELINE.json FRESH.json
+    python benchmarks/check_perf_regression.py BASELINE.json FRESH.json \
+        --require-backend-ratio "inline:pool>=1.5"
+
+``--require-backend-ratio A:B>=R`` (repeatable) additionally gates on the
+*fresh* measurement's aggregate back-end ratio: the aggregate
+``A_sch_per_sec`` column must be at least ``R`` times the aggregate
+``B_sch_per_sec`` column.  Unlike the baseline comparison this is a
+same-host, same-run ratio, so it is immune to runner-class drift — it is
+how CI proves the inline continuation backend keeps its edge over the
+pooled backend on every push.
 
 The gate compares the pooled back-end's aggregate schedules/sec (the
 headline Table 2 metric); per-benchmark numbers are printed for context
@@ -30,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 from pathlib import Path
 
@@ -37,6 +47,44 @@ from pathlib import Path
 def _bad_input(message: str) -> None:
     print(f"error: {message}", file=sys.stderr)
     sys.exit(2)
+
+
+_RATIO_SPEC = re.compile(
+    r"^(?P<num>[a-z]+):(?P<den>[a-z]+)>=(?P<ratio>\d+(?:\.\d+)?)$"
+)
+
+
+def parse_ratio_spec(spec: str):
+    """Parse ``"inline:pool>=1.5"`` into ``("inline", "pool", 1.5)``."""
+    match = _RATIO_SPEC.match(spec.strip())
+    if match is None:
+        _bad_input(
+            f"bad --require-backend-ratio {spec!r} (expected e.g. "
+            "'inline:pool>=1.5')"
+        )
+    return match["num"], match["den"], float(match["ratio"])
+
+
+def check_backend_ratio(fresh: dict, spec: str) -> bool:
+    """True when the fresh aggregate meets the A:B>=R requirement."""
+    numerator, denominator, required = parse_ratio_spec(spec)
+    aggregate = fresh["aggregate"]
+    values = {}
+    for backend in (numerator, denominator):
+        value = aggregate.get(f"{backend}_sch_per_sec")
+        if value is None or value <= 0:
+            _bad_input(
+                f"fresh trajectory has no aggregate {backend}_sch_per_sec "
+                f"column (needed by --require-backend-ratio {spec!r})"
+            )
+        values[backend] = value
+    ratio = values[numerator] / values[denominator]
+    ok = ratio >= required
+    print(
+        f"backend ratio {numerator}:{denominator} = {ratio:.2f}x "
+        f"(gate: >= {required:.2f}x) {'ok' if ok else 'FAILED'}"
+    )
+    return ok
 
 
 def load_aggregate(path: Path) -> dict:
@@ -60,6 +108,14 @@ def main() -> int:
         default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.20")),
         help="maximum tolerated aggregate drop as a fraction (default 0.20)",
     )
+    parser.add_argument(
+        "--require-backend-ratio",
+        action="append",
+        default=[],
+        metavar="A:B>=R",
+        help="fail unless the fresh aggregate A_sch_per_sec is at least "
+        "R times B_sch_per_sec (e.g. 'inline:pool>=1.5'; repeatable)",
+    )
     args = parser.parse_args()
 
     baseline = load_aggregate(args.baseline)
@@ -82,11 +138,17 @@ def main() -> int:
         f"{'aggregate':18s} {base_agg:>10.1f} {fresh_agg:>10.1f} {ratio:>6.2f}x "
         f"(gate: >= {1.0 - args.tolerance:.2f}x)"
     )
+    failed = False
     if ratio < 1.0 - args.tolerance:
         print(
             f"PERF REGRESSION: aggregate pooled #Sch/sec dropped "
             f"{(1.0 - ratio) * 100:.1f}% (> {args.tolerance * 100:.0f}% tolerance)"
         )
+        failed = True
+    for spec in args.require_backend_ratio:
+        if not check_backend_ratio(fresh, spec):
+            failed = True
+    if failed:
         return 1
     print("perf gate passed")
     return 0

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 from ..core.events import Event, MachineId
-from ..core.machine import Machine
+from ..core.machine import Machine, install_field_access_hook
 from ..core.runtime import RuntimeBase
 from ..testing.engine import TestingEngine
 from ..testing.runtime import BugFindingRuntime, _WorkerState
@@ -46,6 +46,15 @@ class ChessRuntime(BugFindingRuntime):
         race_detection: bool = True,
         **kwargs: Any,
     ) -> None:
+        if kwargs.get("workers") == "inline":
+            # CHESS schedules inside field-access hooks, i.e. from plain
+            # attribute writes deep inside user frames — positions a
+            # generator coroutine cannot suspend at.
+            raise ValueError(
+                "ChessRuntime does not support workers='inline'; its "
+                "visible-operation scheduling points cannot suspend a "
+                "coroutine — use 'pool' or 'spawn'"
+            )
         super().__init__(strategy, **kwargs)
         self.race_detection = race_detection
         self.races: List[str] = []
@@ -67,11 +76,11 @@ class ChessRuntime(BugFindingRuntime):
 
     # ------------------------------------------------------------------
     def execute(self, main_cls, payload=None):
-        Machine._field_access_hook = self._on_field_access
+        install_field_access_hook(self._on_field_access)
         try:
             return super().execute(main_cls, payload)
         finally:
-            Machine._field_access_hook = None
+            install_field_access_hook(None)
 
     # ------------------------------------------------------------------
     # Visible operations: every queue op is a scheduling point

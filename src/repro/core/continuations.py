@@ -1,0 +1,535 @@
+"""Compiling machine handlers into resumable generator coroutines.
+
+The single-thread ``workers="inline"`` backend (:mod:`repro.testing
+.runtime`) runs every machine of a controlled execution on one thread, so
+a scheduling decision is a plain function call instead of an OS thread
+hand-off.  That requires machine actions to be *suspendable*: when the
+strategy picks another machine mid-action, the current action's frame
+must pause exactly at the scheduling point and resume later.  CPython has
+no stackful coroutines, but it has generators — and every scheduling
+point in this programming model is syntactically visible: it is a call to
+``self.send(...)`` or ``self.create_machine(...)`` (``nondet`` consults
+the strategy but never transfers control, so it stays a plain call).
+
+This module therefore *reshapes* handler methods into generator
+coroutines at class granularity, once, lazily, the first time a machine
+class runs on the inline backend:
+
+1. Every plain method reachable from the class's entry/exit/action
+   handlers is analysed for scheduling calls; a method is **switchable**
+   when it calls a scheduling primitive directly or calls another
+   switchable method (the transitive closure over ``self.helper(...)``
+   call sites).
+2. Each switchable method's AST is rewritten:
+   ``self.send(t, e)``            -> ``yield (OP_SEND, t, e)``
+   ``self.create_machine(c, p)``  -> ``(yield (OP_CREATE, c, p))``
+   ``self.helper(...)``           -> ``yield from self._inline__helper(...)``
+   and recompiled against the original function's globals and closure
+   cells, so event classes, module imports and test-local names resolve
+   exactly as they did in the source method.
+3. The compiled coroutines are linked into the class's per-state dispatch
+   tables (``StateInfo.inline_dispatch`` / ``entry_inline`` /
+   ``exit_inline``), mirroring the precompiled plain dispatch.
+
+The op tuples yielded by transformed code are interpreted by the inline
+scheduler (``BugFindingRuntime._inline_drive``): it performs the send or
+create *effect*, consults the strategy for the decision the primitive
+implies, and either resumes the coroutine (the machine keeps running) or
+suspends it by yielding the chosen machine id to the trampoline.  Because
+the effect and the decision happen in exactly the order the threaded
+backends use, traces stay bit-identical across all three backends.
+
+Non-switchable methods are untouched and run as plain calls.  Handlers
+whose source is unavailable (``exec``-defined code) are conservatively
+treated as non-switchable; if such a handler does reach a scheduling
+primitive on the inline backend, the runtime raises a descriptive error
+instead of deadlocking.  Constructs that cannot host a ``yield`` —
+scheduling calls inside lambdas, comprehensions or nested functions,
+handlers that are already generators, ``super()`` dispatch, and starred
+primitive arguments — raise :class:`InlineCompileError` at compile time.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import inspect
+import textwrap
+import types
+import weakref
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import PSharpError
+from .events import Halt
+from .machine import (
+    DISP_ACTION,
+    DISP_DEFER,
+    DISP_HALT,
+    DISP_IGNORE,
+    DISP_TRANSITION,
+)
+
+# Opcodes of the tuples yielded by transformed handler coroutines.  The
+# inline scheduler switches on index 0; the remaining elements are the
+# primitive's (already evaluated) arguments.
+OP_SEND = 0
+OP_CREATE = 1
+
+# Transformed helper coroutines are published on the class under this
+# prefix, so `self._inline__helper(...)` dispatches virtually: a subclass
+# that overrides `helper` (and is compiled itself) shadows the base
+# class's compiled coroutine the same way the plain call would.
+INLINE_PREFIX = "_inline__"
+
+_PRIMITIVES = ("send", "create_machine")
+
+# Methods inherited from the framework base classes never reach a
+# scheduling primitive through `self.X(...)` calls (Machine.send goes
+# through `self._runtime`), so their sources are not worth analysing.
+_FRAMEWORK_MODULES = frozenset(
+    {"repro.core.machine", "repro.testing.monitors"}
+)
+
+
+class InlineCompileError(PSharpError):
+    """A handler reaches a scheduling primitive in a position that cannot
+    be reshaped into a coroutine (see the module docstring)."""
+
+
+# ---------------------------------------------------------------------------
+# Per-function source analysis (cached per function object)
+# ---------------------------------------------------------------------------
+class _FnInfo:
+    __slots__ = (
+        "tree",
+        "outer_calls",
+        "inner_calls",
+        "has_yield",
+        "filename",
+        "firstlineno",
+    )
+
+    def __init__(
+        self,
+        tree: ast.FunctionDef,
+        outer_calls: Set[str],
+        inner_calls: Set[str],
+        has_yield: bool,
+        filename: str,
+        firstlineno: int,
+    ) -> None:
+        self.tree = tree
+        self.outer_calls = outer_calls
+        self.inner_calls = inner_calls
+        self.has_yield = has_yield
+        self.filename = filename
+        self.firstlineno = firstlineno
+
+    @property
+    def calls(self) -> Set[str]:
+        return self.outer_calls | self.inner_calls
+
+
+_NESTED_SCOPES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+class _CallScanner(ast.NodeVisitor):
+    """Collect `self.X(...)` call-site names, split by whether they occur
+    in the method's own scope (transformable) or a nested scope (a
+    ``yield`` cannot be placed there)."""
+
+    def __init__(self) -> None:
+        self.outer_calls: Set[str] = set()
+        self.inner_calls: Set[str] = set()
+        self.has_yield = False
+        self._depth = 0
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            (self.inner_calls if self._depth else self.outer_calls).add(
+                func.attr
+            )
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if not self._depth:
+            self.has_yield = True
+        self.generic_visit(node)
+
+    visit_YieldFrom = visit_Yield  # type: ignore[assignment]
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, _NESTED_SCOPES):
+            self._depth += 1
+            super().generic_visit(node)
+            self._depth -= 1
+        else:
+            super().generic_visit(node)
+
+
+# Parsed-source analyses, weak on the function object (see
+# _transform_cache).  A None value marks "source unavailable".
+_fn_info_cache: "weakref.WeakKeyDictionary[types.FunctionType, Optional[_FnInfo]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _fn_info(fn: types.FunctionType) -> Optional[_FnInfo]:
+    """Parse + scan ``fn``; None when its source is unavailable."""
+    if fn in _fn_info_cache:
+        return _fn_info_cache[fn]
+    info: Optional[_FnInfo]
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        info = None
+    else:
+        func_def = next(
+            (n for n in tree.body if isinstance(n, ast.FunctionDef)), None
+        )
+        if func_def is None:
+            info = None
+        else:
+            scanner = _CallScanner()
+            for stmt in func_def.body:
+                scanner.visit(stmt)
+            info = _FnInfo(
+                func_def,
+                scanner.outer_calls,
+                scanner.inner_calls,
+                scanner.has_yield,
+                fn.__code__.co_filename,
+                fn.__code__.co_firstlineno,
+            )
+    _fn_info_cache[fn] = info
+    return info
+
+
+# ---------------------------------------------------------------------------
+# The AST rewrite
+# ---------------------------------------------------------------------------
+def _normalize_args(
+    node: ast.Call, names: Tuple[str, ...], owner: str, required: int
+) -> List[ast.expr]:
+    """Map a primitive call's args/keywords onto positional ``names``;
+    missing optional trailing args become ``None`` constants."""
+    if any(isinstance(a, ast.Starred) for a in node.args) or any(
+        kw.arg is None for kw in node.keywords
+    ):
+        raise InlineCompileError(
+            f"{owner}: cannot reshape a *args/**kwargs call to "
+            f"self.{node.func.attr}(...) into a coroutine"  # type: ignore[attr-defined]
+        )
+    slots: List[Optional[ast.expr]] = list(node.args) + [None] * (
+        len(names) - len(node.args)
+    )
+    if len(node.args) > len(names):
+        raise InlineCompileError(
+            f"{owner}: too many arguments in scheduling call"
+        )
+    for kw in node.keywords:
+        if kw.arg not in names:
+            raise InlineCompileError(
+                f"{owner}: unexpected keyword {kw.arg!r} in scheduling call"
+            )
+        index = names.index(kw.arg)
+        if slots[index] is not None:
+            raise InlineCompileError(
+                f"{owner}: duplicate argument {kw.arg!r} in scheduling call"
+            )
+        slots[index] = kw.value
+    for index in range(required):
+        if slots[index] is None:
+            raise InlineCompileError(
+                f"{owner}: missing argument {names[index]!r} in scheduling call"
+            )
+    return [
+        slot if slot is not None else ast.Constant(value=None)
+        for slot in slots
+    ]
+
+
+class _InlineTransformer(ast.NodeTransformer):
+    """Rewrite scheduling primitives to yields and switchable helper
+    calls to ``yield from`` delegations.  Nested scopes are left alone
+    (verified hazard-free before the transform runs)."""
+
+    def __init__(self, switchable: Set[str], owner: str) -> None:
+        self._switchable = switchable
+        self._owner = owner
+
+    # Yields cannot live in nested scopes; their hazard-freedom was
+    # checked up front, so skip them entirely.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.AST:
+        return node
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+    visit_ListComp = visit_FunctionDef  # type: ignore[assignment]
+    visit_SetComp = visit_FunctionDef  # type: ignore[assignment]
+    visit_DictComp = visit_FunctionDef  # type: ignore[assignment]
+    visit_GeneratorExp = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        self.generic_visit(node)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "super":
+            raise InlineCompileError(
+                f"{self._owner}: super() dispatch inside a scheduling "
+                "handler is not supported on the inline backend"
+            )
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return node
+        name = func.attr
+        if name == "send":
+            args = _normalize_args(node, ("target", "event"), self._owner, 2)
+            return ast.Yield(
+                value=ast.Tuple(
+                    elts=[ast.Constant(value=OP_SEND), *args],
+                    ctx=ast.Load(),
+                )
+            )
+        if name == "create_machine":
+            args = _normalize_args(
+                node, ("machine_cls", "payload"), self._owner, 1
+            )
+            return ast.Yield(
+                value=ast.Tuple(
+                    elts=[ast.Constant(value=OP_CREATE), *args],
+                    ctx=ast.Load(),
+                )
+            )
+        if name in self._switchable:
+            return ast.YieldFrom(
+                value=ast.Call(
+                    func=ast.Attribute(
+                        value=ast.Name(id="self", ctx=ast.Load()),
+                        attr=INLINE_PREFIX + name,
+                        ctx=ast.Load(),
+                    ),
+                    args=node.args,
+                    keywords=node.keywords,
+                )
+            )
+        return node
+
+
+def _check_transformable(
+    name: str, info: _FnInfo, switchable: Set[str], cls_name: str
+) -> None:
+    owner = f"{cls_name}.{name}"
+    if info.has_yield:
+        raise InlineCompileError(
+            f"{owner}: handlers that are already generators cannot be "
+            "reshaped for the inline backend"
+        )
+    hazards = sorted(
+        call
+        for call in info.inner_calls
+        if call in _PRIMITIVES or call in switchable
+    )
+    if hazards:
+        raise InlineCompileError(
+            f"{owner}: scheduling calls {hazards} occur inside a lambda, "
+            "comprehension or nested function; a coroutine cannot suspend "
+            "there — hoist them into the method body"
+        )
+
+
+# fn -> {relevant-switchable-subset -> compiled coroutine}.  Weak on the
+# function object so handlers of dynamically created (e.g. test-local)
+# machine classes can be collected with their class.
+_transform_cache: "weakref.WeakKeyDictionary[types.FunctionType, Dict[frozenset, types.FunctionType]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _transform(
+    fn: types.FunctionType,
+    info: _FnInfo,
+    switchable: Set[str],
+    cls_name: str,
+) -> types.FunctionType:
+    """Compile the coroutine variant of ``fn``.  Cached on the function
+    plus the subset of switchable names it actually calls — the compiled
+    code is class-independent (helper delegation is a virtual attribute
+    lookup), so base-class methods compile once per distinct resolution."""
+    relevant = frozenset(switchable & info.calls)
+    cached = _transform_cache.get(fn, {}).get(relevant)
+    if cached is not None:
+        return cached
+    _check_transformable(fn.__name__, info, switchable, cls_name)
+
+    # Transform a deep copy so the cached pristine tree can be reused for
+    # other (class, resolution) pairs sharing this function.
+    new_def = copy.deepcopy(info.tree)
+    new_def.decorator_list = []
+    transformer = _InlineTransformer(switchable, f"{cls_name}.{fn.__name__}")
+    new_def.body = [transformer.visit(stmt) for stmt in new_def.body]
+
+    freevars = fn.__code__.co_freevars
+    if "__class__" in freevars:
+        raise InlineCompileError(
+            f"{cls_name}.{fn.__name__}: handlers using zero-argument "
+            "super() cannot be reshaped for the inline backend"
+        )
+    if freevars:
+        # The factory re-binds the original closure cells as parameters;
+        # parsing a template keeps the AST shape valid across Python
+        # versions (3.12 adds required FunctionDef fields).
+        module = ast.parse(
+            "def __inline_factory__({0}):\n    return None".format(
+                ", ".join(freevars)
+            )
+        )
+        factory = module.body[0]
+        factory.body = [
+            new_def,
+            ast.Return(value=ast.Name(id=new_def.name, ctx=ast.Load())),
+        ]
+    else:
+        module = ast.parse("")
+        module.body = [new_def]
+    ast.fix_missing_locations(module)
+    # Line numbers map back to the defining file so tracebacks from
+    # transformed coroutines point at the real handler source.
+    ast.increment_lineno(module, info.firstlineno - 1)
+    code = compile(module, info.filename, "exec")
+    namespace: Dict[str, object] = {}
+    # Executing with a separate locals dict keeps the definition out of
+    # the module's real globals while the new function still *binds* them
+    # (event classes, imports) exactly like the original.
+    exec(code, fn.__globals__, namespace)
+    if freevars:
+        cells = [cell.cell_contents for cell in fn.__closure__ or ()]
+        new_fn = namespace["__inline_factory__"](*cells)
+        if new_fn.__code__.co_freevars == fn.__code__.co_freevars:
+            # Share the ORIGINAL closure cells (the compiler sorts
+            # freevars deterministically, so a matching tuple means a
+            # 1:1 cell correspondence): a free variable rebound by the
+            # enclosing scope after compilation is then seen live, just
+            # as the threaded backends see it through the plain method.
+            new_fn = types.FunctionType(
+                new_fn.__code__,
+                fn.__globals__,
+                new_fn.__name__,
+                new_fn.__defaults__,
+                fn.__closure__,
+            )
+            new_fn.__kwdefaults__ = fn.__kwdefaults__
+    else:
+        new_fn = namespace[new_def.name]
+    new_fn.__qualname__ = fn.__qualname__ + "[inline]"
+    _transform_cache.setdefault(fn, {})[relevant] = new_fn
+    return new_fn
+
+
+# ---------------------------------------------------------------------------
+# Per-class compilation
+# ---------------------------------------------------------------------------
+def _eligible_methods(cls: type) -> Dict[str, types.FunctionType]:
+    """Plain functions reachable on ``cls``, resolved most-derived-wins,
+    excluding the framework base classes (they never schedule via self)."""
+    methods: Dict[str, types.FunctionType] = {}
+    for klass in reversed(cls.__mro__):
+        if klass is object or klass.__module__ in _FRAMEWORK_MODULES:
+            continue
+        for name, attr in vars(klass).items():
+            if isinstance(attr, types.FunctionType):
+                methods[name] = attr
+    return methods
+
+
+def _switchable_names(
+    methods: Dict[str, types.FunctionType],
+    infos: Dict[str, Optional[_FnInfo]],
+) -> Set[str]:
+    """Transitive closure of "calls a scheduling primitive" over the
+    class's ``self.X(...)`` call graph."""
+    switchable = {
+        name
+        for name, info in infos.items()
+        if info is not None and any(p in info.calls for p in _PRIMITIVES)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, info in infos.items():
+            if name in switchable or info is None:
+                continue
+            if info.calls & switchable:
+                switchable.add(name)
+                changed = True
+    return switchable
+
+
+def _inline_handler(
+    name: Optional[str],
+    plain_fn,
+    coroutines: Dict[str, types.FunctionType],
+) -> Optional[tuple]:
+    if name is None:
+        return None
+    gen_fn = coroutines.get(name)
+    if gen_fn is not None:
+        return (gen_fn, True)
+    return (plain_fn, False)
+
+
+def compile_inline_machine(cls: type) -> None:
+    """Idempotently compile ``cls``'s inline dispatch tables.
+
+    Lazily invoked by the inline backend's ``_spawn``; costs one AST
+    round-trip per switchable method per class, amortized over every
+    execution of every campaign that touches the class.
+    """
+    if cls.__dict__.get("_inline_ready"):
+        return
+    methods = _eligible_methods(cls)
+    infos = {name: _fn_info(fn) for name, fn in methods.items()}
+    switchable = _switchable_names(methods, infos)
+
+    coroutines: Dict[str, types.FunctionType] = {}
+    for name in sorted(switchable):
+        info = infos[name]
+        assert info is not None  # switchable implies analysable source
+        coroutines[name] = _transform(methods[name], info, switchable, cls.__name__)
+    for name, gen_fn in coroutines.items():
+        setattr(cls, INLINE_PREFIX + name, gen_fn)
+
+    for state in cls._state_infos.values():  # type: ignore[attr-defined]
+        table: Dict[type, tuple] = {}
+        for evt in state.actions:
+            code, plain_fn = state.dispatch[evt]
+            handler = _inline_handler(state.actions[evt], plain_fn, coroutines)
+            assert handler is not None
+            table[evt] = (DISP_ACTION, handler[0], handler[1])
+        for evt in state.transitions:
+            table[evt] = (DISP_TRANSITION, state.dispatch[evt][1], False)
+        for evt in state.deferred:
+            table[evt] = (DISP_DEFER, None, False)
+        for evt in state.ignored:
+            table[evt] = (DISP_IGNORE, None, False)
+        table[Halt] = (DISP_HALT, None, False)
+        state.inline_dispatch = table
+        state.entry_inline = _inline_handler(state.entry, state.entry_fn, coroutines)
+        state.exit_inline = _inline_handler(state.exit, state.exit_fn, coroutines)
+    cls._inline_ready = True

@@ -59,6 +59,18 @@ class MachineId:
     def __repr__(self) -> str:
         return f"{self.name}({self.value})"
 
+    # Ids sit on the scheduling hot path (enabled-set membership, worker
+    # lookups, trace comparisons): hash and compare by the allocation
+    # counter first instead of building (value, name) tuples.  Equal ids
+    # always share a value, so the hash contract holds.
+    def __hash__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is MachineId:
+            return self.value == other.value and self.name == other.name
+        return NotImplemented
+
 
 def event_name(event: "Event | type") -> str:
     """Readable name for an event instance or event class."""

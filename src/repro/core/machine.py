@@ -107,6 +107,14 @@ class StateInfo:
     # action function for DISP_ACTION, the target StateInfo for
     # DISP_TRANSITION, None otherwise.
     dispatch: Dict[type, tuple] = field(default_factory=dict)
+    # Compiled lazily by repro.core.continuations.compile_inline_machine
+    # for the single-thread inline backend: ``inline_dispatch`` maps event
+    # class -> (DISP_* code, payload, is_coroutine); entry/exit handlers
+    # become (fn, is_coroutine) pairs.  None until the class first runs
+    # inline.
+    inline_dispatch: Optional[Dict[type, tuple]] = None
+    entry_inline: Optional[tuple] = None
+    exit_inline: Optional[tuple] = None
 
     def handles(self, event_cls: Type[Event]) -> bool:
         return event_cls in self.transitions or event_cls in self.actions
@@ -128,6 +136,19 @@ class StateInfo:
             disp = self._compute_disposition(event_cls)
             self.dispatch[event_cls] = disp
         return disp
+
+    def inline_disposition(self, event_cls: type) -> tuple:
+        """Like :meth:`disposition` but for the inline backend's compiled
+        tables: returns ``(code, payload, is_coroutine)``.  Lazily seeds
+        entries for event classes outside the declared handler set (those
+        are never coroutine actions — declared actions are pre-seeded by
+        ``compile_inline_machine``)."""
+        entry = self.inline_dispatch.get(event_cls)
+        if entry is None:
+            code, payload = self.disposition(event_cls)
+            entry = (code, payload, False)
+            self.inline_dispatch[event_cls] = entry
+        return entry
 
     def _compute_disposition(self, event_cls: type) -> tuple:
         if issubclass(event_cls, Halt):
@@ -291,6 +312,8 @@ class Machine:
         "_current_event",
         "_raised",
         "_halted",
+        "_inbox_dirty",
+        "_idle_deliverable",
         "__dict__",
         "__weakref__",
     )
@@ -312,6 +335,13 @@ class Machine:
         self._current_event: Optional[Event] = None
         self._raised: Optional[Event] = None
         self._halted = False
+        # Idle-deliverability memo for the bug-finding schedulers: while a
+        # machine sits idle its deliverable-status can only change when an
+        # event is enqueued to it, so `_schedulable` caches the last
+        # inbox-scan verdict in `_idle_deliverable` and only rescans when
+        # `_inbox_dirty` is set (at idle-entry and on every enqueue).
+        self._inbox_dirty = True
+        self._idle_deliverable = False
         del self._psharp_internal
 
     # ------------------------------------------------------------------
@@ -420,12 +450,18 @@ class Machine:
         """
         state = self._current_state
         assert state is not None
-        disposition = state.disposition
+        dispatch = state.dispatch
+        dispatch_get = dispatch.get
         inbox = self._inbox
         i = 0
         while i < len(inbox):
             event = inbox[i]
-            code = disposition(type(event))[0]
+            # Probe the memoized table directly; disposition() fills it
+            # on a miss (and this is the loop that makes it hot).
+            entry = dispatch_get(type(event))
+            if entry is None:
+                entry = state.disposition(type(event))
+            code = entry[0]
             if code <= DISP_HALT:  # action, transition or halt: deliverable
                 return i
             if code == DISP_DEFER:
@@ -503,9 +539,113 @@ class Machine:
         self._runtime.on_machine_halted(self)
 
     # ------------------------------------------------------------------
+    # Coroutine stepping (the single-thread inline backend)
+    # ------------------------------------------------------------------
+    # Mirrors of _start/_step/_handle/_enter that delegate to the
+    # compiled coroutine variants of handlers (see
+    # repro.core.continuations): a handler reshaped into a generator
+    # yields (OP_*, ...) tuples at its scheduling primitives, which
+    # bubble up through these delegating generators to the inline
+    # scheduler.  Plain (non-scheduling) handlers are called directly, so
+    # they pay no generator overhead.
+
+    def _start_inline(self):
+        """Inline variant of :meth:`_start`: ``True`` when the initial
+        entry ran entirely plain, else a coroutine for the scheduler to
+        drive."""
+        return self._enter_inline_fast(
+            self._state_infos[self._initial_state], self._current_event
+        )
+
+    def _step_inline(self):
+        """Inline variant of :meth:`_step`.
+
+        Returns ``False`` when there was nothing to handle, ``True`` when
+        the step completed without touching a scheduling primitive (the
+        common case — it then cost no generator machinery at all), or a
+        coroutine the inline scheduler must drive (the step reached
+        handlers reshaped by :mod:`repro.core.continuations`).
+        """
+        if self._halted:
+            return False
+        if self._raised is not None:
+            event, self._raised = self._raised, None
+        else:
+            index = self._deliverable_index()
+            if index is None:
+                return False
+            event = self._inbox[index]
+            del self._inbox[index]
+            runtime = self._runtime
+            if runtime._hook_dequeued:
+                runtime.on_event_dequeued(self, event)
+        state = self._current_state
+        entry = state.inline_dispatch.get(type(event))
+        if entry is None:
+            entry = state.inline_disposition(type(event))
+        code, payload, is_coroutine = entry
+        if code == DISP_ACTION:
+            self._current_event = event
+            if is_coroutine:
+                return payload(self)
+            payload(self)
+            return True
+        if code == DISP_TRANSITION:
+            return self._enter_inline_fast(payload, event)
+        if code == DISP_HALT:
+            self._do_halt()
+            return True
+        raise UnhandledEventError(self, state.name, event)
+
+    def _enter_inline_fast(self, info: StateInfo, event: Optional[Event]):
+        """Perform a state entry plain when neither the exit nor the
+        entry handler can suspend; otherwise hand back the suspendable
+        :meth:`_enter_inline` coroutine."""
+        old = self._current_state
+        exit_handler = old.exit_inline if old is not None else None
+        entry_handler = info.entry_inline
+        if (exit_handler is None or not exit_handler[1]) and (
+            entry_handler is None or not entry_handler[1]
+        ):
+            if exit_handler is not None:
+                exit_handler[0](self)
+            self._current_state = info
+            self._current_event = event
+            if entry_handler is not None:
+                entry_handler[0](self)
+            return True
+        return self._enter_inline(info, event)
+
+    def _enter_inline(self, info: StateInfo, event: Optional[Event]):
+        old = self._current_state
+        if old is not None and old.exit_inline is not None:
+            fn, is_coroutine = old.exit_inline
+            if is_coroutine:
+                yield from fn(self)
+            else:
+                fn(self)
+        self._current_state = info
+        self._current_event = event
+        handler = info.entry_inline
+        if handler is not None:
+            fn, is_coroutine = handler
+            if is_coroutine:
+                yield from fn(self)
+            else:
+                fn(self)
+
+    # ------------------------------------------------------------------
     # Optional field-access instrumentation (CHESS baseline, Section 7.2.2)
     # ------------------------------------------------------------------
-    def __setattr__(self, name: str, value: Any) -> None:
+    # ``__setattr__`` is NOT defined on the class by default: machines
+    # write fields constantly (it is the single most frequent operation
+    # in a controlled execution), and a Python-level interception hook
+    # taxes every one of those writes even when no instrumentation is
+    # active.  The CHESS baseline installs ``_instrumented_setattr`` as
+    # ``Machine.__setattr__`` for the duration of its executions via
+    # :func:`install_field_access_hook`.
+
+    def _instrumented_setattr(self, name: str, value: Any) -> None:
         hook = Machine._field_access_hook
         if (
             hook is not None
@@ -525,6 +665,22 @@ class Machine:
         if hook is not None and not name.startswith("_"):
             hook(self, name, False)
         return getattr(self, name)
+
+
+def install_field_access_hook(
+    hook: Optional[Callable[[Machine, str, bool], None]]
+) -> None:
+    """Install (or, with ``None``, remove) the global field-access hook.
+
+    Installing also swaps the instrumented ``__setattr__`` into the
+    ``Machine`` class; removing deletes it so ordinary field writes go
+    straight to ``object.__setattr__`` with zero interception cost.
+    """
+    Machine._field_access_hook = hook
+    if hook is not None:
+        Machine.__setattr__ = Machine._instrumented_setattr  # type: ignore[method-assign]
+    elif "__setattr__" in Machine.__dict__:
+        del Machine.__setattr__
 
 
 def machine_statistics(machine_cls: Type[Machine]) -> Dict[str, int]:

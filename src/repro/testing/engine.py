@@ -167,7 +167,8 @@ def drive(
     across iterations (``BugFindingRuntime.reset`` runs at the top of
     every ``execute``), so per-iteration cost is the schedule itself, not
     runtime construction.  ``workers`` selects the worker back-end
-    (pooled threads by default; ``"spawn"`` for the legacy
+    (pooled threads by default; ``"inline"`` for the single-thread
+    continuation runtime, ``"spawn"`` for the legacy
     thread-per-execution path).
 
     ``deadline`` is an absolute ``time.monotonic()`` timestamp; when absent
@@ -218,7 +219,7 @@ def drive(
                 # off so the straggler cannot corrupt later iterations.
                 runtime = build_runtime()
             result = runtime.execute(main_cls, payload)
-            report.max_machines = max(report.max_machines, len(runtime.machines))
+            report.max_machines = max(report.max_machines, len(runtime._machines))
             report.total_steps += result.steps
             report.total_scheduling_points += result.scheduling_points
             if result.status in ("time-bound", "stopped"):

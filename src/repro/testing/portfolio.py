@@ -255,12 +255,15 @@ class PortfolioEngine:
         self.max_steps = max_steps
         self.stop_on_first_bug = stop_on_first_bug
         self.livelock_as_bug = livelock_as_bug
-        if runtime_workers not in ("pool", "spawn"):
+        if runtime_workers not in ("inline", "pool", "spawn"):
             raise ValueError(
-                f"runtime_workers must be 'pool' or 'spawn', got {runtime_workers!r}"
+                "runtime_workers must be 'inline', 'pool' or 'spawn', "
+                f"got {runtime_workers!r}"
             )
         # Worker back-end each subprocess's runtime uses: every portfolio
-        # worker gets its own process-local pooled runtime by default.
+        # worker gets its own process-local pooled runtime by default;
+        # "inline" runs each worker's schedules on that process's single
+        # thread via the continuation runtime.
         self.runtime_workers = runtime_workers
         # Monitor *classes* ship to workers (picklable by reference, like
         # the program's machine classes); instances are per-execution.

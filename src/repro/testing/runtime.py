@@ -14,7 +14,15 @@ point — the simple partial-order reduction inherited from P [6]); a forced
 hand-off additionally happens when a machine goes idle.  Exactly one
 thread is runnable at any moment, so runtime state needs no locking.
 
-Two worker back-ends drive the cooperative threads:
+Three worker back-ends drive the cooperative machines:
+
+``workers="inline"``
+    The single-thread continuation runtime: machine handlers are
+    compiled into resumable generator coroutines
+    (:mod:`repro.core.continuations`) and a flat trampoline switches
+    between them, so a scheduling decision is a plain function call — no
+    locks, no hand-offs, no permits, and no ~3-7us OS thread switch per
+    non-forced decision.
 
 ``workers="pool"`` (default)
     A process-lifetime :class:`WorkerPool` of reusable OS threads.  Each
@@ -29,7 +37,7 @@ Two worker back-ends drive the cooperative threads:
     The historical thread-per-execution path, kept as the A/B baseline:
     a fresh thread and semaphore per machine per execution.
 
-Both back-ends run the *same* scheduling code, so for a fixed strategy
+All back-ends run the *same* scheduling code, so for a fixed strategy
 seed they produce bit-identical :class:`ScheduleTrace` records — DFS
 backtracking, replay and PCT semantics are independent of the back-end.
 
@@ -46,8 +54,14 @@ import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
+from itertools import chain
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from ..core.continuations import (
+    OP_SEND,
+    InlineCompileError,
+    compile_inline_machine,
+)
 from ..core.events import Event, MachineId
 from ..core.machine import Machine
 from ..core.runtime import RuntimeBase
@@ -74,6 +88,10 @@ from .trace import (
 
 # Sentinel "no hot monitor" deadline: any real step count compares below.
 _NO_DEADLINE = float("inf")
+
+# Sentinel for "nothing to send into an inline activation" (None is a
+# legitimate send value: it resumes a plain send's yield).
+_NO_VALUE = object()
 
 
 class _WorkerState(Enum):
@@ -263,6 +281,27 @@ class WorkerPool:
             worker.thread.join(timeout=1.0)
 
 
+class _InlineWorker:
+    """One machine's seat on the single-thread inline backend.
+
+    ``gen`` is the machine's cooperative body
+    (:meth:`BugFindingRuntime._inline_body`): a generator that yields the
+    next machine id at every control transfer.  The trampoline resumes
+    it when the strategy picks this machine; between resumptions the
+    machine's entire action stack sits suspended inside the generator.
+    The ``state`` field carries the same :class:`_WorkerState` protocol
+    the threaded workers use, so ``_schedulable`` is back-end agnostic.
+    """
+
+    __slots__ = ("machine", "mid", "state", "gen")
+
+    def __init__(self, runtime: "BugFindingRuntime", machine: Machine) -> None:
+        self.machine = machine
+        self.mid = machine.id
+        self.state = _NEW
+        self.gen = runtime._inline_body(self)
+
+
 _shared_pool = WorkerPool()
 
 
@@ -295,10 +334,14 @@ class BugFindingRuntime(RuntimeBase):
         with status ``"stopped"``.  Portfolio workers pass the shared
         first-bug-wins cancellation event here.
     workers:
-        ``"pool"`` binds machines to reusable pooled threads (fast,
-        default); ``"spawn"`` creates a thread per machine per execution
-        (the historical path, kept for A/B benchmarking).  Both produce
-        identical traces for the same strategy seed.
+        ``"inline"`` runs every machine on this thread as resumable
+        generator coroutines (the continuation runtime — fastest, but
+        handlers must be source-analysable; see
+        :mod:`repro.core.continuations`); ``"pool"`` binds machines to
+        reusable pooled threads (default); ``"spawn"`` creates a thread
+        per machine per execution (the historical path, kept for A/B
+        benchmarking).  All three produce identical traces for the same
+        strategy seed.
     pool:
         The :class:`WorkerPool` to draw pooled workers from; defaults to
         the shared process-wide pool.
@@ -340,8 +383,10 @@ class BugFindingRuntime(RuntimeBase):
         max_hot_steps: int = 1000,
     ) -> None:
         super().__init__()
-        if workers not in ("pool", "spawn"):
-            raise ValueError(f"workers must be 'pool' or 'spawn', got {workers!r}")
+        if workers not in ("inline", "pool", "spawn"):
+            raise ValueError(
+                f"workers must be 'inline', 'pool' or 'spawn', got {workers!r}"
+            )
         for monitor_cls in monitors:
             if not (isinstance(monitor_cls, type) and issubclass(monitor_cls, Monitor)):
                 raise ValueError(
@@ -396,8 +441,13 @@ class BugFindingRuntime(RuntimeBase):
         # Execution state.
         self._workers: Dict[MachineId, Any] = {}
         self._worker_list: List[Any] = []  # in machine-creation order
-        self._done = threading.Lock()
-        self._done.acquire()
+        if self.workers == "inline":
+            # No waiting thread to signal: the trampoline runs the whole
+            # execution synchronously inside execute().
+            self._done = None
+        else:
+            self._done = threading.Lock()
+            self._done.acquire()
         self._canceled = False
         self._finished = False
         self._status = "ok"
@@ -477,16 +527,19 @@ class BugFindingRuntime(RuntimeBase):
         self.strategy.observe_forced(mid)
         if trace is not None:
             trace.append(SCHED_TAG, mid.value)
-        self._workers[mid].signal.release()
-        self._done.acquire()
-        self._cancel_all()
-        if self.workers == "pool":
-            self._release_pool_workers()
+        if self.workers == "inline":
+            self._run_inline(self._workers[mid])
         else:
-            for worker in self._workers.values():
-                worker.thread.join(timeout=self._retire_timeout)
-            if any(w.thread.is_alive() for w in self._workers.values()):
-                self.tainted = True
+            self._workers[mid].signal.release()
+            self._done.acquire()
+            self._cancel_all()
+            if self.workers == "pool":
+                self._release_pool_workers()
+            else:
+                for worker in self._workers.values():
+                    worker.thread.join(timeout=self._retire_timeout)
+                if any(w.thread.is_alive() for w in self._workers.values()):
+                    self.tainted = True
         return ExecutionResult(
             status=self._status,
             steps=self._steps,
@@ -535,6 +588,7 @@ class BugFindingRuntime(RuntimeBase):
         machine = self._machines.get(target)
         if machine is not None and not machine._halted:
             machine._inbox.append(event)
+            machine._inbox_dirty = True
             if self._hook_visible:
                 self.on_visible_operation(machine, "enqueue")
         if sender is not None:
@@ -710,7 +764,13 @@ class BugFindingRuntime(RuntimeBase):
     # Worker machinery
     # ==================================================================
     def _spawn(self, machine_cls: Type[Machine], payload: Any) -> MachineId:
+        if self.workers == "inline" and "_inline_ready" not in machine_cls.__dict__:
+            compile_inline_machine(machine_cls)
         machine = self._instantiate(machine_cls, payload)
+        if self.workers == "inline":
+            worker = self._workers[machine.id] = _InlineWorker(self, machine)
+            self._worker_list.append(worker)
+            return machine.id
         if self.workers == "pool":
             worker = self._pool.checkout()
             worker.machine = machine
@@ -746,8 +806,17 @@ class BugFindingRuntime(RuntimeBase):
             count_step = self._count_step
             step = machine._step
             hook_visible = self._hook_visible
+            poll = self._poll
+            max_steps = self.max_steps
             while not machine._halted:
-                count_step()
+                # Fast path of _count_step (kept in sync with the inline
+                # body): bump the counter, fall back to the real method
+                # whenever any of its checks could fire.
+                steps = self._steps + 1
+                if poll or steps > self._hot_deadline or steps > max_steps:
+                    count_step()
+                else:
+                    self._steps = steps
                 if hook_visible:
                     self.on_visible_operation(machine, "dequeue")
                 progressed = step()
@@ -757,22 +826,45 @@ class BugFindingRuntime(RuntimeBase):
                     self._become_idle(worker)
             worker.state = _DONE
             self._handoff(worker, voluntary=False)
-        except ExecutionCanceled:
-            pass
-        except MonitorError as exc:
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            self._report_worker_exception(machine, exc)
+
+    def _report_worker_exception(self, machine: Machine, exc: BaseException) -> None:
+        """Classify an exception that escaped a machine's cooperative body
+        into the paper's bug kinds.  Shared verbatim by the threaded
+        worker bodies and the inline trampoline so a given failure is
+        reported identically on every back-end."""
+        if isinstance(exc, ExecutionCanceled):
+            return
+        if isinstance(exc, InlineCompileError):
+            # A handler the coroutine compiler cannot reshape is a
+            # configuration error of the campaign, not a bug in the
+            # program under test: surface it to the caller instead of
+            # fabricating a BugReport no other backend can reproduce.
+            raise exc
+        if isinstance(exc, MonitorError):
             self._report_bug("monitor", str(exc), exc.monitor, exc)
-        except AssertionFailure as exc:
+        elif isinstance(exc, AssertionFailure):
             self._report_bug("assertion-failure", str(exc), machine, exc)
-        except UnhandledEventError as exc:
+        elif isinstance(exc, UnhandledEventError):
             self._report_bug("unhandled-event", str(exc), machine, exc)
-        except PSharpError as exc:
+        elif isinstance(exc, PSharpError):
             self._report_bug("runtime-error", str(exc), machine, exc)
-        except Exception as exc:  # noqa: BLE001 - paper error class (iii)
+        elif isinstance(exc, Exception):  # paper error class (iii)
             wrapped = ActionError(machine, machine.current_state or "?", exc)
             self._report_bug("action-exception", str(wrapped), machine, wrapped)
+        else:
+            # KeyboardInterrupt and friends are not bugs; let them fly.
+            raise exc
 
     def _become_idle(self, worker: Any) -> None:
         worker.state = _IDLE
+        # The step that just returned False scanned the inbox and found
+        # nothing deliverable; nothing can have been enqueued since (only
+        # one machine runs at a time), so that verdict seeds the memo.
+        machine = worker.machine
+        machine._idle_deliverable = False
+        machine._inbox_dirty = False
         self._handoff(worker, voluntary=True)
         # Woken up: either canceled, or we have a deliverable event.
         if self._canceled:
@@ -782,16 +874,348 @@ class BugFindingRuntime(RuntimeBase):
         self._current = worker.machine.id
 
     # ------------------------------------------------------------------
+    # The inline scheduler (single-thread continuation back-end)
+    # ------------------------------------------------------------------
+    def _run_inline(self, first: _InlineWorker) -> None:
+        """The trampoline: resume one machine's cooperative body at a
+        time; each ``gen.send`` runs the machine up to its next control
+        transfer, which arrives back here as the chosen machine id.  One
+        flat loop replaces the threaded back-ends' signal hand-offs, so a
+        non-forced scheduling decision costs a strategy call plus a
+        generator resume instead of an OS thread switch."""
+        current = first
+        # Machine ids are allocated in creation order and every machine
+        # owns exactly one seat, so _worker_list[mid.value] is the seat —
+        # an index instead of a dict probe on every control transfer.
+        workers = self._worker_list
+        try:
+            while True:
+                try:
+                    choice = current.gen.send(None)
+                except StopIteration as stop:
+                    # A finished body hands over its final choice (machine
+                    # done); a bare return means the execution is over.
+                    choice = stop.value
+                    if choice is None:
+                        break
+                except BaseException as exc:  # noqa: BLE001 - classified
+                    self._report_worker_exception(current.machine, exc)
+                    break
+                if self._finished:
+                    break
+                current = workers[choice.value]
+            if not self._finished:
+                self._finish("ok")
+        finally:
+            # Mirror _cancel_all: unwind every still-suspended machine
+            # with ExecutionCanceled so user try/finally blocks run
+            # exactly as they do when the threaded back-ends cancel
+            # their workers.  Runs even when a hard error (e.g.
+            # InlineCompileError) propagates to the caller.
+            self._canceled = True
+            for worker in self._worker_list:
+                gen, worker.gen = worker.gen, None
+                if gen is None or gen.gi_frame is None:
+                    continue  # finished bodies have nothing to unwind
+                try:
+                    gen.throw(ExecutionCanceled())
+                except (StopIteration, ExecutionCanceled):
+                    pass
+                except InlineCompileError:
+                    pass  # the primary error is already propagating
+                except BaseException as exc:  # noqa: BLE001 - classified
+                    self._report_worker_exception(worker.machine, exc)
+                finally:
+                    gen.close()
+
+    def _inline_body(self, worker: _InlineWorker):
+        """Cooperative body of one machine: the inline counterpart of
+        :meth:`_worker_body`.  A generator that yields the next machine
+        id whenever the schedule transfers control away; exceptions
+        propagate to the trampoline, which classifies them.
+
+        The op-interpreter loop for *step* activations is inlined here
+        (it is the hottest code in an inline campaign — a per-step
+        delegating generator measurably caps #Sch/sec); it must stay
+        semantically identical to :meth:`_inline_drive`, which remains
+        the documented reference implementation and drives the
+        once-per-machine start activation.
+        """
+        machine = worker.machine
+        worker.state = _RUNNING
+        self._current = machine.id
+        outcome = machine._start_inline()
+        if outcome is not True:
+            yield from self._inline_drive(worker, outcome)
+        count_step = self._count_step
+        step_inline = machine._step_inline
+        hook_visible = self._hook_visible
+        strategy = self.strategy
+        observe_forced = strategy.observe_forced
+        pick_machine = strategy.pick_machine
+        schedulable = self._schedulable
+        machines_get = self._machines.get
+        monitors_attached = self._monitors_attached
+        trace = self._trace
+        trace_append = None if trace is None else trace.append
+        mid = machine.id
+        mid_value = mid.value
+        poll = self._poll
+        max_steps = self.max_steps
+        while not machine._halted:
+            # Fast path of _count_step: bump the counter and fall back to
+            # the real method whenever any of its checks could fire.
+            steps = self._steps + 1
+            if poll or steps > self._hot_deadline or steps > max_steps:
+                count_step()
+            else:
+                self._steps = steps
+            if hook_visible:
+                self.on_visible_operation(machine, "dequeue")
+            # True / False mirror _step's plain-handler result; anything
+            # else is a coroutine activation to drive (it progressed).
+            progressed = step_inline()
+            if progressed is not True and progressed is not False:
+                # -- the _inline_drive loop, inlined (keep in sync!) --
+                gen = progressed
+                value = _NO_VALUE
+                error: Optional[BaseException] = None
+                while True:
+                    if error is not None or value is not _NO_VALUE:
+                        try:
+                            if error is not None:
+                                exc, error = error, None
+                                op = gen.throw(exc)
+                            else:
+                                sent, value = value, _NO_VALUE
+                                op = gen.send(sent)
+                        except StopIteration:
+                            break
+                        ops = chain((op,), gen)
+                    else:
+                        ops = gen
+                    completed = True
+                    for op in ops:
+                        try:
+                            if op[0] == OP_SEND:
+                                event = op[2]
+                                if monitors_attached:
+                                    observers = self._observers_for(
+                                        type(event), self._send_observers, "observes"
+                                    )
+                                    if observers:
+                                        self._deliver_to_monitors(observers, event)
+                                target = machines_get(op[1])
+                                if target is not None and not target._halted:
+                                    target._inbox.append(event)
+                                    target._inbox_dirty = True
+                                    if hook_visible:
+                                        self.on_visible_operation(target, "enqueue")
+                            else:  # OP_CREATE
+                                value = self._spawn(op[1], op[2])
+                            if self._canceled:
+                                raise ExecutionCanceled()
+                            steps = self._steps + 1
+                            if poll or steps > self._hot_deadline or steps > max_steps:
+                                count_step()
+                            else:
+                                self._steps = steps
+                            enabled = schedulable()
+                            self._sched_points += 1
+                            if len(enabled) == 1:
+                                choice = enabled[0]
+                                observe_forced(choice)
+                                if trace_append is not None:
+                                    trace_append(SCHED_TAG, choice.value)
+                            else:
+                                choice = pick_machine(enabled, mid)
+                                if trace_append is not None:
+                                    trace_append(SCHED_TAG, choice.value)
+                                if choice.value != mid_value:
+                                    yield choice
+                                    if self._canceled:
+                                        raise ExecutionCanceled()
+                                    self._current = mid
+                            if value is not _NO_VALUE:
+                                completed = False
+                                break
+                        except InlineCompileError:
+                            raise  # configuration error, never a bug
+                        except BaseException as exc:  # noqa: BLE001
+                            error = exc
+                            completed = False
+                            break
+                    if completed:
+                        break
+                progressed = True
+            if machine._halted:
+                break
+            if not progressed:
+                worker.state = _IDLE
+                # The failed step scan doubles as the idle memo (nothing
+                # was enqueued since); mirrors _become_idle.
+                machine._idle_deliverable = False
+                machine._inbox_dirty = False
+                yield self._inline_handoff(worker)
+                # Resumed: either canceled, or we have a deliverable event.
+                if self._canceled:
+                    raise ExecutionCanceled()
+                worker.state = _RUNNING
+                self._current = mid
+        worker.state = _DONE
+        # Returning (instead of yielding) finishes this generator, making
+        # its end-of-execution cleanup free; the trampoline reads the
+        # final choice out of StopIteration.
+        return self._inline_handoff(worker)
+
+    def _inline_drive(self, worker: _InlineWorker, gen):
+        """Interpret one machine activation (a start or step coroutine).
+
+        The activation yields ``(OP_SEND, target, event)`` /
+        ``(OP_CREATE, cls, payload)`` tuples at its scheduling
+        primitives; this loop performs the effect, then makes the
+        scheduling decision the primitive implies — the exact sequence
+        :meth:`send` + :meth:`_schedule` produce on the threaded
+        back-ends, so traces stay bit-identical.  Control transfers are
+        yielded upward to the trampoline; exceptions raised by the
+        effect or the decision (monitor failures, bound cutoffs,
+        cancellation) are thrown *into* the activation so they surface
+        at the user's call site with its try/finally semantics intact.
+        The loop iterates the activation with ``for`` — a generator that
+        returns (all of ours return None) exhausts a for-loop without the
+        cost of materializing and catching StopIteration — and drops to
+        explicit ``send``/``throw`` only when a create needs its result
+        delivered or an exception must surface at the user's call site.
+        """
+        strategy = self.strategy
+        observe_forced = strategy.observe_forced
+        pick_machine = strategy.pick_machine
+        count_step = self._count_step
+        schedulable = self._schedulable
+        machines_get = self._machines.get
+        hook_visible = self._hook_visible
+        monitors_attached = self._monitors_attached
+        trace = self._trace
+        trace_append = None if trace is None else trace.append
+        mid = worker.mid
+        mid_value = mid.value
+        poll = self._poll
+        max_steps = self.max_steps
+        value = _NO_VALUE
+        error: Optional[BaseException] = None
+        while True:
+            if error is not None or value is not _NO_VALUE:
+                # Slow advance: deliver a create result or throw an
+                # exception into the activation, then resume iterating
+                # from the op it yields next (if any).
+                try:
+                    if error is not None:
+                        exc, error = error, None
+                        op = gen.throw(exc)
+                    else:
+                        sent, value = value, _NO_VALUE
+                        op = gen.send(sent)
+                except StopIteration:
+                    return
+                ops = chain((op,), gen)
+            else:
+                ops = gen
+            completed = True
+            for op in ops:
+                try:
+                    if op[0] == OP_SEND:
+                        # The send effect, mirroring self.send(sender=
+                        # None): monitor mirroring, enqueue, hook.
+                        event = op[2]
+                        if monitors_attached:
+                            observers = self._observers_for(
+                                type(event), self._send_observers, "observes"
+                            )
+                            if observers:
+                                self._deliver_to_monitors(observers, event)
+                        machine = machines_get(op[1])
+                        if machine is not None and not machine._halted:
+                            machine._inbox.append(event)
+                            machine._inbox_dirty = True
+                            if hook_visible:
+                                self.on_visible_operation(machine, "enqueue")
+                    else:  # OP_CREATE
+                        value = self._spawn(op[1], op[2])
+                    # The scheduling point (mirrors _schedule).
+                    if self._canceled:
+                        raise ExecutionCanceled()
+                    steps = self._steps + 1
+                    if poll or steps > self._hot_deadline or steps > max_steps:
+                        count_step()
+                    else:
+                        self._steps = steps
+                    enabled = schedulable()
+                    self._sched_points += 1
+                    if len(enabled) == 1:
+                        choice = enabled[0]
+                        observe_forced(choice)
+                        if trace_append is not None:
+                            trace_append(SCHED_TAG, choice.value)
+                    else:
+                        choice = pick_machine(enabled, mid)
+                        if trace_append is not None:
+                            trace_append(SCHED_TAG, choice.value)
+                        if choice.value != mid_value:
+                            yield choice
+                            if self._canceled:
+                                raise ExecutionCanceled()
+                            self._current = mid
+                    if value is not _NO_VALUE:
+                        completed = False
+                        break
+                except InlineCompileError:
+                    raise  # configuration error, never a bug
+                except BaseException as exc:  # noqa: BLE001 - rethrown
+                    error = exc
+                    completed = False
+                    break
+            if completed:
+                return
+
+    def _inline_handoff(self, worker: _InlineWorker) -> MachineId:
+        """Pick who runs next when ``worker`` gives up control without
+        remaining schedulable (idle or done): the inline counterpart of
+        :meth:`_handoff`.  The caller yields the returned id."""
+        enabled = self._schedulable()
+        if not enabled:
+            if self._monitors_attached:
+                self._check_monitors_at_termination()
+            self._finish("ok")
+            # The threaded worker parks here until cancellation unwinds
+            # it; inline, the unwind is immediate.
+            raise ExecutionCanceled()
+        self._sched_points += 1
+        if len(enabled) == 1:
+            choice = enabled[0]
+            self.strategy.observe_forced(choice)
+        else:
+            choice = self.strategy.pick_machine(enabled, worker.mid)
+        if self._trace is not None:
+            self._trace.append(SCHED_TAG, choice.value)
+        return choice
+
+    # ------------------------------------------------------------------
     # The scheduler
     # ------------------------------------------------------------------
     def _schedulable(self) -> List[MachineId]:
         enabled = []
+        append = enabled.append
         for worker in self._worker_list:
             state = worker.state
             if state is _RUNNING or state is _NEW:
-                enabled.append(worker.mid)
-            elif state is _IDLE and worker.machine._has_deliverable():
-                enabled.append(worker.mid)
+                append(worker.mid)
+            elif state is _IDLE:
+                machine = worker.machine
+                if machine._inbox_dirty:
+                    machine._idle_deliverable = machine._has_deliverable()
+                    machine._inbox_dirty = False
+                if machine._idle_deliverable:
+                    append(worker.mid)
         return enabled
 
     def _schedule(self, current: MachineId) -> None:
@@ -804,9 +1228,26 @@ class BugFindingRuntime(RuntimeBase):
         no hand-off happens.  The forced decision is still recorded, so
         traces are identical whether or not the fast path fires.
         """
+        if self.workers == "inline":
+            # Reached only when a handler the coroutine compiler could not
+            # analyse (source unavailable, or resolved through a
+            # static/classmethod shim) calls a scheduling primitive
+            # directly: there is no thread to block here.
+            machine = self._machines.get(current)
+            raise InlineCompileError(
+                f"{machine} hit a blocking scheduling point on the inline "
+                "backend: its handler was not compiled to a coroutine "
+                "(handler source unavailable, or resolved through a "
+                "static/classmethod shim); use workers='pool' for this "
+                "program"
+            )
         if self._canceled:
             raise ExecutionCanceled()
-        self._count_step()
+        steps = self._steps + 1
+        if self._poll or steps > self._hot_deadline or steps > self.max_steps:
+            self._count_step()
+        else:
+            self._steps = steps
         enabled = self._schedulable()
         self._sched_points += 1
         trace = self._trace
@@ -951,7 +1392,8 @@ class BugFindingRuntime(RuntimeBase):
         if not self._finished:
             self._finished = True
             self._status = status
-            self._done.release()
+            if self._done is not None:
+                self._done.release()
 
     def _cancel_all(self) -> None:
         self._canceled = True

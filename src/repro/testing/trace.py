@@ -17,6 +17,7 @@ stored traces stay diffable.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from array import array
 from typing import Iterable, Iterator, List, Optional, Tuple
@@ -106,6 +107,19 @@ class ScheduleTrace:
 
     def __hash__(self) -> int:
         return hash((bytes(self._tags), self._values.tobytes()))
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the decision sequence.
+
+        Two traces have equal fingerprints iff they are bit-identical —
+        the compact form of the cross-backend parity contract (inline,
+        pool and spawn must produce the same digest per strategy seed),
+        cheap enough to assert over whole benchmark registries and to
+        record alongside benchmark results.
+        """
+        digest = hashlib.sha256(bytes(self._tags))
+        digest.update(self._values.tobytes())
+        return digest.hexdigest()
 
     # -- serialization (traces can be stored alongside bug reports) -----
     def to_json(self) -> str:

@@ -1,0 +1,365 @@
+"""Tests for the single-thread continuation back-end (``workers="inline"``).
+
+Cross-backend trace parity lives in ``test_runtime_reuse.py``; this file
+covers what is specific to the inline runtime: the handler-to-coroutine
+compiler (helper chains, closures, keyword arguments, failure modes),
+cancellation unwind semantics (user ``try/finally`` blocks), and the
+engine / portfolio / replay integrations.
+"""
+
+import pytest
+
+from repro import (
+    BugFindingRuntime,
+    Event,
+    FairRandomStrategy,
+    Machine,
+    PortfolioEngine,
+    RandomStrategy,
+    State,
+    StrategySpec,
+    TestingEngine,
+    replay,
+)
+from repro.bench import get
+from repro.core.continuations import (
+    InlineCompileError,
+    compile_inline_machine,
+)
+from repro.testing.engine import drive
+
+from .machines import NondetBug, Ping, RacyCounter
+
+
+class EKick(Event):
+    pass
+
+
+class EReply(Event):
+    pass
+
+
+class EStop(Event):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# The handler-to-coroutine compiler
+# ---------------------------------------------------------------------------
+class HelperChain(Machine):
+    """Scheduling primitives reached only through a chain of helper
+    methods: the transitive-closure analysis must reshape every link."""
+
+    class Init(State):
+        initial = True
+        entry = "boot"
+        actions = {EReply: "on_reply"}
+
+    def boot(self):
+        self.replies = 0
+        self.fan_out(2)
+
+    def fan_out(self, count):
+        for _ in range(count):
+            self.ping_child()
+
+    def ping_child(self):
+        child = self.create_machine(Echo, self.id)
+        self.send(child, EKick(self.id))
+
+    def on_reply(self):
+        self.replies += 1
+        if self.replies == 2:
+            self.halt()
+
+
+class Echo(Machine):
+    class Init(State):
+        initial = True
+        actions = {EKick: "on_kick"}
+
+    def on_kick(self):
+        # Keyword arguments on primitives must normalize too.
+        self.send(event=EReply(self.id), target=self.payload)
+        self.halt()
+
+
+def _run_inline(main_cls, seed=1, max_steps=2_000, iterations=1):
+    strategy = RandomStrategy(seed=seed)
+    runtime = BugFindingRuntime(strategy, max_steps=max_steps, workers="inline")
+    result = None
+    for _ in range(iterations):
+        strategy.prepare_iteration()
+        result = runtime.execute(main_cls)
+    return result
+
+
+class TestCoroutineCompiler:
+    def test_helper_chain_and_keyword_primitives(self):
+        result = _run_inline(HelperChain)
+        assert result.status == "ok", result.bug
+        # The same program produces the same trace on the pooled backend.
+        strategy = RandomStrategy(seed=1)
+        strategy.prepare_iteration()
+        pooled = BugFindingRuntime(strategy, workers="pool").execute(HelperChain)
+        assert pooled.trace.fingerprint() == result.trace.fingerprint()
+
+    def test_closure_handlers_compile(self):
+        # Machines declared inside a function close over local names; the
+        # compiler must rebind those cells in the reshaped coroutine.
+        log = []
+
+        class ELocal(Event):
+            pass
+
+        class Closer(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+                actions = {ELocal: "noted"}
+
+            def go(self):
+                log.append("sent")
+                self.send(self.id, ELocal())
+
+            def noted(self):
+                log.append("noted")
+                self.halt()
+
+        result = _run_inline(Closer)
+        assert result.status == "ok", result.bug
+        assert log == ["sent", "noted"]
+
+    def test_compile_is_per_class_and_idempotent(self):
+        compile_inline_machine(HelperChain)
+        first = HelperChain._inline__boot
+        compile_inline_machine(HelperChain)
+        assert HelperChain._inline__boot is first
+        # Subclasses compile separately (most-derived resolution).
+        assert "_inline_ready" not in Echo.__dict__ or Echo is not HelperChain
+
+    def test_send_inside_lambda_is_rejected(self):
+        class Lambdaist(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                fire = lambda: self.send(self.id, EKick())  # noqa: E731
+                fire()
+
+        with pytest.raises(InlineCompileError, match="lambda"):
+            compile_inline_machine(Lambdaist)
+
+    def test_generator_handler_is_rejected(self):
+        class Generatorist(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                self.send(self.id, EKick())
+                yield  # pragma: no cover - never driven
+
+        with pytest.raises(InlineCompileError, match="generator"):
+            compile_inline_machine(Generatorist)
+
+    def test_starred_primitive_arguments_are_rejected(self):
+        class Splatter(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                args = (self.id, EKick())
+                self.send(*args)
+
+        with pytest.raises(InlineCompileError, match="args"):
+            compile_inline_machine(Splatter)
+
+    def test_closure_cells_stay_live_after_compilation(self):
+        # The compiled coroutine must share the original closure cells:
+        # a free variable rebound after the first inline execution is
+        # seen by later executions, exactly as the threaded backends see
+        # it through the plain method.
+        limit_box = {}
+
+        def make_machine(limit):
+            class Counter(Machine):
+                class Init(State):
+                    initial = True
+                    entry = "go"
+
+                def go(self):
+                    for _ in range(limit):
+                        self.send(self.id, EKick())
+                    limit_box["seen"] = limit
+                    self.halt()
+
+            def rebind(new):
+                nonlocal limit
+                limit = new
+
+            return Counter, rebind
+
+        Counter, rebind = make_machine(1)
+        first = _run_inline(Counter)
+        assert first.status == "ok" and limit_box["seen"] == 1
+        rebind(3)
+        second = _run_inline(Counter)
+        assert second.status == "ok" and limit_box["seen"] == 3
+
+    def test_uncompilable_class_created_mid_execution_is_a_hard_error(self):
+        # A compile failure for a machine created *during* an inline
+        # execution must surface as InlineCompileError from execute(),
+        # not be misreported as a bug in the program under test.
+        class BadChild(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                burst = lambda: self.send(self.id, EKick())  # noqa: E731
+                burst()
+
+        class Parent(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                self.create_machine(BadChild)
+
+        strategy = RandomStrategy(seed=0)
+        runtime = BugFindingRuntime(strategy, workers="inline")
+        strategy.prepare_iteration()
+        with pytest.raises(InlineCompileError, match="lambda"):
+            runtime.execute(Parent)
+        # The failed execution was unwound; the runtime is reusable.
+        strategy.prepare_iteration()
+        assert runtime.execute(Ping).status == "ok"
+
+    def test_plain_handlers_pay_no_reshaping(self):
+        compile_inline_machine(NondetBug)
+        # nondet never transfers control, so NondetBug has no coroutines.
+        assert not any(
+            name.startswith("_inline__") for name in vars(NondetBug)
+        )
+        result = _run_inline(NondetBug, seed=2, iterations=20)
+        assert result is not None
+
+
+# ---------------------------------------------------------------------------
+# Cancellation / unwind semantics
+# ---------------------------------------------------------------------------
+class TestInlineUnwind:
+    def test_finally_blocks_run_when_execution_is_cut_short(self):
+        log = []
+
+        class EGo(Event):
+            pass
+
+        class Careful(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+                actions = {EGo: "spin"}
+
+            def go(self):
+                self.send(self.id, EGo())
+
+            def spin(self):
+                try:
+                    self.send(self.id, EGo())
+                finally:
+                    log.append("unwound")
+
+        strategy = RandomStrategy(seed=0)
+        runtime = BugFindingRuntime(strategy, max_steps=30, workers="inline")
+        strategy.prepare_iteration()
+        result = runtime.execute(Careful)
+        assert result.status == "depth-bound"
+        # The machine suspended inside its try block was unwound with
+        # ExecutionCanceled, running the finally — the same shape the
+        # threaded back-ends produce when cancellation wakes workers.
+        assert "unwound" in log
+
+    def test_assertion_inside_helper_reports_the_machine(self):
+        class Fused(Machine):
+            class Init(State):
+                initial = True
+                entry = "go"
+
+            def go(self):
+                self.detonate()
+
+            def detonate(self):
+                self.send(self.id, EKick())
+                self.assert_that(False, "boom")
+
+        result = _run_inline(Fused)
+        assert result.buggy
+        assert result.bug.kind == "assertion-failure"
+        assert "boom" in result.bug.message
+
+
+# ---------------------------------------------------------------------------
+# Integrations
+# ---------------------------------------------------------------------------
+class TestInlineIntegrations:
+    def test_engine_drive_with_inline_backend(self):
+        report = drive(
+            RacyCounter, None, RandomStrategy(seed=3),
+            max_iterations=500, time_limit=60.0, max_steps=2_000,
+            workers="inline",
+        )
+        assert report.bug_found
+        replayed = replay(RacyCounter, report.first_bug.trace, workers="inline")
+        assert replayed.buggy
+
+    def test_testing_engine_accepts_inline(self):
+        engine = TestingEngine(
+            Ping, strategy=RandomStrategy(seed=9), max_iterations=5,
+            time_limit=30, workers="inline", stop_on_first_bug=False,
+        )
+        report = engine.run()
+        assert report.iterations == 5
+        assert not report.bug_found
+
+    def test_portfolio_with_inline_runtime_workers(self):
+        engine = PortfolioEngine(
+            RacyCounter,
+            specs=[StrategySpec("random", {"seed": 3})],
+            max_iterations=500,
+            time_limit=60,
+            max_steps=2_000,
+            runtime_workers="inline",
+        )
+        report = engine.run()
+        assert report.first_bug is not None
+        replayed = engine.replay_winner(report)
+        assert replayed is not None and replayed.buggy
+
+    def test_liveness_temperature_fires_inline_and_replays(self):
+        bench = get("TokenRing")
+        report = drive(
+            bench.buggy.main, None, FairRandomStrategy(seed=3),
+            max_iterations=50, time_limit=60.0, max_steps=5_000,
+            workers="inline", monitors=bench.buggy.monitors,
+            max_hot_steps=150,
+        )
+        assert report.bug_found
+        assert report.first_bug.kind == "liveness"
+        replayed = replay(
+            bench.buggy.main, report.first_bug.trace, workers="inline",
+            monitors=bench.buggy.monitors, max_hot_steps=150,
+            max_steps=5_000,
+        )
+        assert replayed.buggy
+        assert replayed.bug.kind == "liveness"
+
+    def test_chess_runtime_rejects_inline(self):
+        from repro.chess import ChessRuntime
+
+        with pytest.raises(ValueError, match="inline"):
+            ChessRuntime(RandomStrategy(seed=0), workers="inline")

@@ -388,9 +388,9 @@ class TestMonitorDeterminism:
 
     def test_monitors_do_not_perturb_strategy_decisions(self):
         raft = get("Raft")
-        bare = self._decision_traces(raft.correct.main, 23, "pool", ())
+        bare = self._decision_traces(raft.correct.main, 22, "pool", ())
         monitored = self._decision_traces(
-            raft.correct.main, 23, "pool", raft.correct.monitors
+            raft.correct.main, 22, "pool", raft.correct.monitors
         )
         for plain, with_spec in zip(bare, monitored):
             filtered = [d for d in with_spec.decisions if d[0] != "monitor"]

@@ -1,10 +1,13 @@
-"""Tests for the pooled-worker runtime: back-end trace determinism,
+"""Tests for the worker back-ends: cross-backend trace determinism,
 runtime reuse via ``reset()``, and worker-pool hygiene.
 
-The contract under test is the PR's acceptance criterion: for a fixed
-strategy seed, the pooled back-end and the legacy thread-per-execution
-back-end produce bit-identical schedule traces, so DFS backtracking,
-replay and PCT semantics are provably independent of the worker back-end.
+The contract under test is the acceptance criterion shared by the pooled
+runtime and the single-thread continuation runtime: for a fixed strategy
+seed, the inline, pooled and legacy thread-per-execution back-ends
+produce bit-identical schedule traces — with and without specification
+monitors attached — so DFS backtracking, replay, PCT semantics and
+monitor-based liveness detection are provably independent of the worker
+back-end.
 """
 
 import pytest
@@ -12,21 +15,31 @@ import pytest
 from repro import (
     BugFindingRuntime,
     DfsStrategy,
+    FairRandomStrategy,
     PctStrategy,
     RandomStrategy,
     ScheduleTrace,
     replay,
 )
-from repro.bench import buggy_main, table2_suite
+from repro.bench import buggy_main, get, table2_suite
 from repro.testing import WorkerPool, shared_worker_pool
 
 from .machines import Ping, RacyCounter, SelfLoop
 
 BENCH_NAMES = [b.name for b in table2_suite()]
+BACKENDS = ("inline", "pool", "spawn")
+
+# Registry variants that ship specification monitors: the safety-monitor
+# retrofits plus the liveness suite (hot/cold temperature detection).
+MONITORED = ["Raft", "TwoPhaseCommit", "ProcessScheduler", "TokenRing"]
 
 
-def _traces(main_cls, strategy, mode, iterations, max_steps=2_000):
-    runtime = BugFindingRuntime(strategy, max_steps=max_steps, workers=mode)
+def _traces(main_cls, strategy, mode, iterations, max_steps=2_000,
+            monitors=(), max_hot_steps=1000):
+    runtime = BugFindingRuntime(
+        strategy, max_steps=max_steps, workers=mode,
+        monitors=monitors, max_hot_steps=max_hot_steps,
+    )
     collected = []
     for _ in range(iterations):
         if not strategy.prepare_iteration():
@@ -37,14 +50,40 @@ def _traces(main_cls, strategy, mode, iterations, max_steps=2_000):
 
 class TestBackendTraceDeterminism:
     @pytest.mark.parametrize("bench_name", BENCH_NAMES)
-    def test_pool_and_spawn_traces_identical_across_registry(self, bench_name):
+    @pytest.mark.parametrize("mode", ["inline", "spawn"])
+    def test_backend_traces_identical_across_registry(self, bench_name, mode):
         main_cls = buggy_main(bench_name)
         pool = _traces(main_cls, RandomStrategy(seed=11), "pool", 5)
-        spawn = _traces(main_cls, RandomStrategy(seed=11), "spawn", 5)
-        assert len(pool) == len(spawn) == 5
-        for a, b in zip(pool, spawn):
+        other = _traces(main_cls, RandomStrategy(seed=11), mode, 5)
+        assert len(pool) == len(other) == 5
+        for a, b in zip(pool, other):
             assert a == b  # flat-array equality
             assert a.decisions == b.decisions  # tuple-level equality
+            assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("bench_name", MONITORED)
+    @pytest.mark.parametrize("mode", ["inline", "spawn"])
+    def test_monitor_attached_traces_identical_across_backends(
+        self, bench_name, mode
+    ):
+        # Monitor invocations and temperature firings are trace-recorded,
+        # so monitored runs must stay bit-identical across back-ends too
+        # (fair strategy: liveness temperature detection is armed).
+        variant = get(bench_name).buggy
+        kwargs = dict(
+            monitors=variant.monitors, max_hot_steps=150, max_steps=5_000
+        )
+        pool = _traces(
+            variant.main, FairRandomStrategy(seed=3), "pool", 5, **kwargs
+        )
+        other = _traces(
+            variant.main, FairRandomStrategy(seed=3), mode, 5, **kwargs
+        )
+        assert len(pool) == len(other) == 5
+        assert any(len(trace) for trace in pool)
+        for a, b in zip(pool, other):
+            assert a.decisions == b.decisions
+            assert a.fingerprint() == b.fingerprint()
 
     @pytest.mark.parametrize(
         "strategy_factory",
@@ -55,14 +94,16 @@ class TestBackendTraceDeterminism:
         ],
         ids=["random", "dfs", "pct"],
     )
-    def test_strategies_agree_between_backends(self, strategy_factory):
+    @pytest.mark.parametrize("mode", ["inline", "spawn"])
+    def test_strategies_agree_between_backends(self, strategy_factory, mode):
         pool = _traces(RacyCounter, strategy_factory(), "pool", 20)
-        spawn = _traces(RacyCounter, strategy_factory(), "spawn", 20)
-        assert pool == spawn
+        other = _traces(RacyCounter, strategy_factory(), mode, 20)
+        assert pool == other
 
-    def test_bug_found_in_pool_mode_replays_in_both_modes(self):
+    @pytest.mark.parametrize("found_in", BACKENDS)
+    def test_bug_found_in_any_mode_replays_in_every_mode(self, found_in):
         strategy = RandomStrategy(seed=3)
-        runtime = BugFindingRuntime(strategy, max_steps=2_000, workers="pool")
+        runtime = BugFindingRuntime(strategy, max_steps=2_000, workers=found_in)
         result = None
         for _ in range(500):
             strategy.prepare_iteration()
@@ -70,10 +111,11 @@ class TestBackendTraceDeterminism:
             if result.buggy:
                 break
         assert result is not None and result.buggy
-        for mode in ("pool", "spawn"):
+        for mode in BACKENDS:
             replayed = replay(RacyCounter, result.trace, workers=mode)
             assert replayed.buggy
             assert replayed.bug.message == result.bug.message
+            assert replayed.trace.fingerprint() == result.trace.fingerprint()
 
     def test_trace_json_wire_format_unchanged(self):
         # The flat-array encoding must serialize exactly like the old
@@ -90,7 +132,7 @@ class TestRuntimeReuse:
     executions canceled mid-schedule (the historical stale ``_current``/
     counter bug)."""
 
-    @pytest.mark.parametrize("mode", ["pool", "spawn"])
+    @pytest.mark.parametrize("mode", list(BACKENDS))
     def test_execute_twice_matches_fresh_runtime(self, mode):
         def fresh():
             strategy = RandomStrategy(seed=9)
@@ -113,7 +155,7 @@ class TestRuntimeReuse:
             assert result.scheduling_points == reference.scheduling_points
             assert result.trace == reference.trace
 
-    @pytest.mark.parametrize("mode", ["pool", "spawn"])
+    @pytest.mark.parametrize("mode", list(BACKENDS))
     def test_canceled_execution_leaves_no_stale_state(self, mode):
         # A depth-bounded execution is canceled mid-schedule: workers are
         # unwound by cancellation, counters are non-zero, _current points
@@ -135,7 +177,7 @@ class TestRuntimeReuse:
         assert runtime._current is not None  # last scheduled machine, this run
         assert len(runtime.machines) == 2  # Ping + Pong only, registry reset
 
-    @pytest.mark.parametrize("mode", ["pool", "spawn"])
+    @pytest.mark.parametrize("mode", list(BACKENDS))
     def test_stop_check_cancellation_then_reuse(self, mode):
         stop = {"now": True}
         strategy = RandomStrategy(seed=0)
@@ -167,6 +209,24 @@ class TestRuntimeReuse:
         after = runtime.execute(Ping)
         assert after.status == "ok"
         assert after.bug is None  # the old bug does not leak into new runs
+
+    def test_inline_canceled_execution_unwinds_generators_then_reuses(self):
+        # Inline reset() regression: a depth-bounded execution leaves
+        # suspended coroutine bodies behind; _run_inline must unwind
+        # every one of them (worker.gen cleared) so the next execute()
+        # starts from a clean seat list.
+        strategy = RandomStrategy(seed=0)
+        runtime = BugFindingRuntime(strategy, max_steps=50, workers="inline")
+        strategy.prepare_iteration()
+        bounded = runtime.execute(SelfLoop)
+        assert bounded.status == "depth-bound"
+        assert all(w.gen is None for w in runtime._worker_list)
+
+        strategy.prepare_iteration()
+        clean = runtime.execute(Ping)
+        assert clean.status == "ok"
+        assert clean.steps <= 50
+        assert len(runtime.machines) == 2  # Ping + Pong only, registry reset
 
 
 class TestDispatchCompilation:
