@@ -3,39 +3,49 @@
 Table 2 reports Raft's seeded bug as the rarest (2% of schedules, DFS
 never reaches it within bounds).  This example compares the DFS and
 random schedulers on it and replays the found trace — the Section 6.2
-workflow end to end.
+workflow end to end, written against the declarative
+``TestConfig``/``Campaign`` facade: one frozen config describes the
+campaign, ``with_overrides`` derives the strategy variations, and the
+worker back-end resolves automatically (``workers="auto"`` — inline
+when the program compiles for it, reported as ``effective_backend``).
+
+The command-line twin of this script:
+
+    python -m repro test Raft --strategy dfs --max-iterations 300
+    python -m repro test Raft --seed 7 --max-iterations 5000 \\
+        --save-trace raft.trace.json
+    python -m repro replay Raft --trace raft.trace.json
 
 Run: ``python examples/find_raft_bug.py``
 """
 
-from repro import DfsStrategy, RandomStrategy, TestingEngine, replay
-from repro.bench import get
+from repro import Campaign, TestConfig
 
 
 def main():
-    benchmark = get("Raft")
-    buggy_main = benchmark.buggy.main
+    base = TestConfig(
+        "Raft",                      # registry target: the buggy variant
+        max_iterations=300,
+        max_steps=5_000,
+        time_limit=60,
+    )
 
     print("DFS scheduler, 300 schedules (explores one corner of the tree):")
-    engine = TestingEngine(
-        buggy_main, strategy=DfsStrategy(), max_iterations=300,
-        stop_on_first_bug=True, max_steps=5_000, time_limit=60,
-    )
-    report = engine.run()
+    report = Campaign(base.with_overrides(strategy="dfs")).run()
     print(f"   {report.summary()}")
 
     print("\nrandom scheduler, up to 5000 schedules:")
-    engine = TestingEngine(
-        buggy_main, strategy=RandomStrategy(seed=7), max_iterations=5_000,
-        stop_on_first_bug=True, max_steps=5_000, time_limit=120,
+    campaign = Campaign(
+        base.with_overrides(seed=7, max_iterations=5_000, time_limit=120)
     )
-    report = engine.run()
+    report = campaign.run()
     print(f"   {report.summary()}")
+    print(f"   backend: {report.effective_backend}")
 
     if report.bug_found:
         trace = report.first_bug.trace
         print(f"\nreplaying the {len(trace)}-decision trace:")
-        result = replay(buggy_main, trace)
+        result = campaign.replay()            # the recorded winner
         print(f"   {result.bug}")
         assert result.buggy, "replay must reproduce the bug"
         print("   reproduced deterministically.")

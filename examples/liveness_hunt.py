@@ -8,56 +8,60 @@ The ``CpuProgressMonitor`` specification encodes the obligation — hot
 granted — and the runtime reports a liveness bug when the monitor stays
 hot beyond the temperature threshold under a *fair* schedule.
 
-The walkthrough shows the three pieces fitting together:
+The walkthrough shows the three pieces fitting together (all phrased as
+one base ``TestConfig`` plus ``with_overrides`` — the registry target
+``"ProcessScheduler"`` brings ``CpuProgressMonitor`` along by itself):
 
 1. An **unfair** strategy (DFS) cannot tell a livelock from its own
    starvation of a machine, so its depth-bound cutoffs stay plain
    ``"depth-bound"`` statuses — no spurious liveness reports.
-2. The **fair** ``FairRandomStrategy`` (round-robin-biased random walk)
-   plus the monitor pinpoints the livelock via hot-state temperature,
-   naming the hot state and the step counts.
+2. The **fair** ``fair-random`` strategy (round-robin-biased random
+   walk) plus the monitor pinpoints the livelock via hot-state
+   temperature, naming the hot state and the step counts.
 3. The winning schedule **replays deterministically**, monitor included.
+
+The command-line twin of step 2:
+
+    python -m repro test ProcessScheduler --strategy fair-random,seed=3 \\
+        --max-steps 2000 --max-hot-steps 150 --max-iterations 200
 
 Run: ``python examples/liveness_hunt.py``
 """
 
-from repro import FairRandomStrategy, DfsStrategy, PortfolioEngine, StrategySpec, TestingEngine
-from repro.bench import get
+from repro import Campaign, TestConfig
 
-benchmark = get("ProcessScheduler")
-MONITORS = benchmark.buggy.monitors  # (CpuProgressMonitor,)
+BASE = TestConfig(
+    "ProcessScheduler",        # buggy variant + CpuProgressMonitor attach
+    max_iterations=200,
+    max_steps=2_000,
+    time_limit=60,
+    max_hot_steps=150,         # fair steps a monitor may stay hot
+)
 
 
 def unfair_strategies_stay_quiet():
     print("1. DFS (unfair) + livelock_as_bug: no spurious liveness reports")
-    engine = TestingEngine(
-        benchmark.buggy.main,
-        strategy=DfsStrategy(),
-        max_iterations=30,
-        max_steps=2_000,
-        time_limit=30,
-        livelock_as_bug=True,  # the legacy heuristic would fire here...
-        stop_on_first_bug=False,
+    campaign = Campaign(
+        BASE.with_overrides(
+            strategy="dfs",
+            max_iterations=30,
+            time_limit=30,
+            livelock_as_bug=True,  # the legacy heuristic would fire here...
+            stop_on_first_bug=False,
+        )
     )
-    report = engine.run()
+    report = campaign.run()
     print(f"   {report.summary()}")
     print(f"   depth-bound cutoffs: {report.depth_bound_hits}, "
           f"bugs: {report.buggy_iterations} (starvation is not a livelock)\n")
 
 
 def fair_strategy_finds_the_livelock():
-    print("2. FairRandomStrategy + CpuProgressMonitor: temperature detection")
-    engine = TestingEngine(
-        benchmark.buggy.main,
-        strategy=FairRandomStrategy(seed=3),
-        max_iterations=200,
-        max_steps=2_000,
-        time_limit=60,
-        monitors=MONITORS,
-        max_hot_steps=150,  # fair steps a monitor may stay hot
-    )
-    report = engine.run()
+    print("2. fair-random + CpuProgressMonitor: temperature detection")
+    campaign = Campaign(BASE.with_overrides(strategy="fair-random,seed=3"))
+    report = campaign.run()
     print(f"   {report.summary()}")
+    print(f"   backend: {report.effective_backend}")
     if report.first_bug is not None:
         print(f"   -> {report.first_bug.message}\n")
     return report
@@ -65,21 +69,14 @@ def fair_strategy_finds_the_livelock():
 
 def portfolio_and_replay():
     print("3. Portfolio campaign + deterministic replay of the winner")
-    engine = PortfolioEngine(
-        benchmark.buggy.main,
-        specs=[
-            StrategySpec("fair-random", {"seed": 3}),
-            StrategySpec("fair-random", {"seed": 4, "bias": 0.7}),
-        ],
-        max_iterations=200,
-        time_limit=60,
-        max_steps=2_000,
-        monitors=MONITORS,
-        max_hot_steps=150,
+    campaign = Campaign(
+        BASE.with_overrides(
+            specs=("fair-random,seed=3", "fair-random,seed=4,bias=0.7"),
+        )
     )
-    report = engine.run()
+    report = campaign.portfolio()
     print(f"   campaign: {report.summary()}")
-    replayed = engine.replay_winner(report)
+    replayed = campaign.replay()
     if replayed is None:
         print("   (no bug within budget — raise iterations)")
         return

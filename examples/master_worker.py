@@ -7,7 +7,7 @@ roles, with the abstract service API of BaseService.
 Run: ``python examples/master_worker.py``
 """
 
-from repro import DfsStrategy, RandomStrategy, TestingEngine
+from repro import Campaign, TestConfig
 from repro.analysis.frontend import analyze_machines
 from repro.bench.async_system import (
     BUG_DRIVERS,
@@ -19,15 +19,11 @@ from repro.bench.async_system import (
 
 def main():
     print("systematic test of the correct master-worker system")
-    engine = TestingEngine(
-        Dispatcher,
-        strategy=RandomStrategy(seed=1),
-        max_iterations=300,
-        stop_on_first_bug=True,
-        max_steps=5_000,
+    base = TestConfig(
+        Dispatcher, seed=1, max_iterations=300, max_steps=5_000
     )
-    report = engine.run()
-    print(f"   {report.summary()}")
+    report = Campaign(base).run()
+    print(f"   {report.summary()}  [{report.effective_backend}]")
     assert not report.bug_found
 
     print("\nstatic race analysis of the same classes")
@@ -38,14 +34,9 @@ def main():
 
     print("\nhunting the five seeded case-study bugs (Section 7.1)")
     for bug, (driver, service) in sorted(BUG_DRIVERS.items()):
-        engine = TestingEngine(
-            driver,
-            strategy=RandomStrategy(seed=13),
-            max_iterations=2_000,
-            stop_on_first_bug=True,
-            max_steps=5_000,
-        )
-        report = engine.run()
+        report = Campaign(
+            base.with_overrides(program=driver, seed=13, max_iterations=2_000)
+        ).run()
         status = (
             f"found at schedule {report.first_bug_iteration}: "
             f"{report.first_bug.kind}"

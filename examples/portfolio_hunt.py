@@ -2,35 +2,41 @@
 
 ``examples/find_raft_bug.py`` shows a single strategy at a time: DFS
 misses the bug (it lives deep in the schedule tree, in ~2% of schedules)
-and random needs the right seed.  Here a portfolio of diverse strategies —
-random, PCT at several priority-change budgets, delay-bounding at several
-delay budgets, iterative-deepening DFS — races in separate processes; the
-first worker to hit the bug cancels the rest and hands back a replayable
-trace.
+and random needs the right seed.  Here ``Campaign.portfolio()`` races a
+portfolio of diverse strategies — random, PCT at several priority-change
+budgets, delay-bounding at several delay budgets, iterative-deepening
+DFS — in separate processes; the first worker to hit the bug cancels the
+rest and hands back a replayable trace.  Every worker inherits the
+inline-first back-end from ``workers="auto"`` (the campaign report's
+``effective_backend`` says what actually ran).
+
+The command-line twin: ``python -m repro test Raft --portfolio 4 --seed 7``
 
 Run: ``python examples/portfolio_hunt.py [workers]``
 """
 
 import sys
 
-from repro import PortfolioEngine
-from repro.bench import buggy_main
+from repro import Campaign, TestConfig
 
 
 def main():
     workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     print(f"portfolio of {workers} workers on Raft's seeded bug:")
-    engine = PortfolioEngine(
-        buggy_main("Raft"),
-        workers=workers,
-        seed=7,
-        max_iterations=5_000,
-        time_limit=120,
-        max_steps=5_000,
+    campaign = Campaign(
+        TestConfig(
+            "Raft",
+            seed=7,
+            max_iterations=5_000,
+            time_limit=120,
+            max_steps=5_000,
+            portfolio_workers=workers,
+        )
     )
-    report = engine.run()
+    report = campaign.portfolio()
 
     print(f"   campaign: {report.summary()}")
+    print(f"   backend: {report.effective_backend}")
     for sub in report.sub_reports:
         print(f"     worker {sub.summary()}")
 
@@ -40,7 +46,7 @@ def main():
 
     trace = report.first_bug.trace
     print(f"\nreplaying the winning {len(trace)}-decision trace in-process:")
-    result = engine.replay_winner(report)
+    result = campaign.replay()
     print(f"   {result.bug}")
     assert result.buggy, "replay must reproduce the bug"
     print("   reproduced deterministically.")

@@ -9,13 +9,12 @@ Run: ``python examples/quickstart.py``
 """
 
 from repro import (
+    Campaign,
     Event,
     Machine,
-    RandomStrategy,
     Runtime,
     State,
-    TestingEngine,
-    replay,
+    TestConfig,
 )
 
 
@@ -91,21 +90,22 @@ def main():
     print("   completed without errors\n")
 
     print("2. systematic testing: 200 random schedules of the racy variant")
-    engine = TestingEngine(
-        RacyPinger,
-        strategy=RandomStrategy(seed=42),
-        max_iterations=200,
-        stop_on_first_bug=True,
+    campaign = Campaign(
+        TestConfig(RacyPinger, seed=42, max_iterations=200)
     )
-    report = engine.run()
+    report = campaign.run()
     print(f"   {report.summary()}")
+    print(f"   backend: {report.effective_backend}")  # resolved from 'auto'
     assert report.bug_found
 
     print("\n3. deterministic replay of the recorded buggy schedule")
-    result = replay(RacyPinger, report.first_bug.trace)
+    result = campaign.replay()  # the last campaign's winning trace
     print(f"   replayed -> {result.bug}")
     assert result.buggy
     print("\nSame trace, same bug: Heisenbug reproduced deterministically.")
+    print("(The same hunt from a shell: "
+          "python -m repro test examples.quickstart:RacyPinger "
+          "--seed 42 --max-iterations 200)")
 
 
 if __name__ == "__main__":

@@ -8,10 +8,15 @@ Programming model (:mod:`repro.core`):
     ``Machine``, ``State``, ``Event``, ``Halt``, ``MachineId``, ``Runtime``
 
 Systematic concurrency testing (:mod:`repro.testing`):
-    ``TestingEngine``, ``PortfolioEngine`` (parallel strategy portfolio),
-    ``BugFindingRuntime``, ``DfsStrategy``, ``IterativeDeepeningDfsStrategy``,
+    ``TestConfig`` + ``Campaign`` — the declarative campaign facade (one
+    frozen config over runtime, strategies and monitors; also the core
+    of the ``python -m repro`` command-line tester) — plus the classic
+    entry points it subsumes: ``TestingEngine``, ``PortfolioEngine``
+    (parallel strategy portfolio), ``BugFindingRuntime``,
+    ``DfsStrategy``, ``IterativeDeepeningDfsStrategy``,
     ``RandomStrategy``, ``FairRandomStrategy``, ``ReplayStrategy``,
-    ``PctStrategy``, ``DelayBoundingStrategy``, ``StrategySpec``, ``replay``
+    ``PctStrategy``, ``DelayBoundingStrategy``, ``StrategySpec``,
+    ``replay``
 
 Specifications (:mod:`repro.testing.monitors`):
     ``Monitor`` (safety/liveness specification machines), ``hot`` /
@@ -55,6 +60,8 @@ from .errors import (
 )
 from .testing import (
     BugFindingRuntime,
+    Campaign,
+    TestConfig,
     DelayBoundingStrategy,
     DfsStrategy,
     EMachineHalted,
@@ -76,6 +83,7 @@ from .testing import (
     make_strategy,
     register_strategy,
     replay,
+    run_portfolio,
 )
 
 __version__ = "1.0.0"
@@ -99,8 +107,11 @@ __all__ = [
     "BugReport",
     "AnalysisDiagnostic",
     "AnalysisReport",
+    "TestConfig",
+    "Campaign",
     "TestingEngine",
     "TestReport",
+    "run_portfolio",
     "PortfolioEngine",
     "StrategySpec",
     "default_portfolio",

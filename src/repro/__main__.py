@@ -1,0 +1,253 @@
+"""``python -m repro`` — the command-line tester.
+
+Mirrors the P# tester tool's surface (a thin command line over the
+declarative core): every invocation builds a
+:class:`repro.testing.config.TestConfig` and hands it to a
+:class:`repro.testing.config.Campaign`, so the CLI has no execution
+logic of its own.
+
+Subcommands
+-----------
+
+``test TARGET``
+    Run a bug-finding campaign.  ``TARGET`` is a benchmark-registry name
+    or table alias (``Raft``, ``2PhaseCommit`` — the seeded buggy
+    variant, registry monitors attached) or a ``module:Class`` import
+    path.  ``--strategy name,kw=v`` picks the scheduler (repeat it, or
+    pass ``--portfolio N``, for a multi-process portfolio campaign);
+    ``--save-trace FILE`` writes the winning schedule for later replay.
+
+``replay TARGET --trace FILE``
+    Deterministically re-execute a schedule recorded by ``test
+    --save-trace`` (or :meth:`ScheduleTrace.save`) and report what it
+    reproduces.
+
+``bench --list``
+    Print the benchmark registry (suites, variants, monitors).
+
+Exit status: 0 on success, 1 when ``--expect-bug`` was passed and no bug
+was found (or a replay reproduced none), 2 on configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .errors import PSharpError
+from .testing.config import Campaign, TestConfig
+from .testing.portfolio import StrategySpec, strategy_names
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-steps", type=int, default=20_000, metavar="N",
+        help="depth bound on scheduling decisions per execution",
+    )
+    parser.add_argument(
+        "--workers", choices=("auto", "inline", "pool", "spawn"),
+        default="auto",
+        help="worker back-end (default: auto = inline with pooled fallback)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Systematic concurrency tester for P# programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    test = sub.add_parser(
+        "test", help="run a bug-finding campaign against a target program"
+    )
+    test.add_argument(
+        "target",
+        help="benchmark name/alias (e.g. Raft, 2PhaseCommit) or module:Class",
+    )
+    test.add_argument(
+        "--strategy", action="append", metavar="NAME[,KW=V...]",
+        help=f"scheduling strategy ({', '.join(strategy_names())}); "
+        "repeat for a portfolio of explicit strategies",
+    )
+    test.add_argument(
+        "--portfolio", type=int, metavar="N",
+        help="run the default diverse portfolio mix across N worker processes",
+    )
+    test.add_argument("--seed", type=int, help="campaign seed")
+    test.add_argument(
+        "--max-iterations", type=int, default=10_000, metavar="N",
+        help="schedules to explore (default: 10000, the paper's budget)",
+    )
+    test.add_argument(
+        "--time-limit", type=float, default=300.0, metavar="SECONDS",
+        help="wall-clock budget (default: 300, the paper's 5 minutes)",
+    )
+    test.add_argument(
+        "--max-hot-steps", type=int, default=1000, metavar="N",
+        help="liveness temperature threshold (fair steps a monitor may stay hot)",
+    )
+    test.add_argument(
+        "--livelock-as-bug", action="store_true",
+        help="report depth-bound cutoffs under fair strategies as potential livelocks",
+    )
+    test.add_argument(
+        "--keep-going", action="store_true",
+        help="keep exploring after the first bug (estimate bug density)",
+    )
+    _add_budget_arguments(test)
+    test.add_argument(
+        "--save-trace", metavar="FILE",
+        help="write the first found bug's schedule trace to FILE",
+    )
+    test.add_argument(
+        "--expect-bug", action="store_true",
+        help="exit 1 unless the campaign found a bug (CI gating)",
+    )
+
+    rep = sub.add_parser(
+        "replay", help="deterministically re-execute a recorded schedule"
+    )
+    rep.add_argument("target", help="the program the trace was recorded against")
+    rep.add_argument(
+        "--trace", required=True, metavar="FILE",
+        help="trace file written by 'test --save-trace' or ScheduleTrace.save",
+    )
+    _add_budget_arguments(rep)
+    rep.add_argument(
+        "--expect-bug", action="store_true",
+        help="exit 1 unless the replay reproduced a bug",
+    )
+
+    bench = sub.add_parser("bench", help="inspect the benchmark registry")
+    bench.add_argument(
+        "--list", action="store_true", help="list all registered benchmarks"
+    )
+    return parser
+
+
+def _report_lines(report) -> List[str]:
+    lines = [report.summary(), f"backend: {report.effective_backend}"]
+    for sub in report.sub_reports:
+        lines.append(f"  worker {sub.summary()}")
+    if report.first_bug is not None:
+        lines.append(f"bug: {report.first_bug}")
+    elif report.exhausted:
+        lines.append("search space exhausted, no bug found")
+    else:
+        lines.append("no bug found within the budget")
+    return lines
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    specs = [StrategySpec.parse(text) for text in args.strategy or []]
+    if args.portfolio is not None and specs:
+        raise PSharpError(
+            "pass either --portfolio N (the default mix) or repeated "
+            "--strategy entries (an explicit mix), not both"
+        )
+    portfolio = args.portfolio is not None or len(specs) > 1
+    config = TestConfig(
+        program=args.target,
+        strategy=specs[0] if len(specs) == 1 else None,
+        specs=tuple(specs) if len(specs) > 1 else None,
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+        time_limit=args.time_limit,
+        max_steps=args.max_steps,
+        stop_on_first_bug=not args.keep_going,
+        livelock_as_bug=args.livelock_as_bug,
+        workers=args.workers,
+        max_hot_steps=args.max_hot_steps,
+        # None -> the facade default; explicit values (0 included) go
+        # through TestConfig validation so --portfolio 0 is rejected.
+        portfolio_workers=args.portfolio if args.portfolio is not None else 4,
+    )
+    campaign = Campaign(config)
+    report = campaign.portfolio() if portfolio else campaign.run()
+    for line in _report_lines(report):
+        print(line)
+    if args.save_trace:
+        bug = report.first_bug
+        if bug is None or bug.trace is None:
+            print("no trace to save (no bug found)", file=sys.stderr)
+        else:
+            bug.trace.save(args.save_trace)
+            print(
+                f"trace saved to {args.save_trace} "
+                f"({len(bug.trace)} decisions)"
+            )
+    if args.expect_bug and not report.bug_found:
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    config = TestConfig(
+        program=args.target,
+        max_steps=args.max_steps,
+        workers=args.workers,
+    )
+    result = Campaign(config).replay(args.trace)
+    assert result is not None  # an explicit trace always replays
+    print(f"status: {result.status}")
+    if result.bug is not None:
+        print(f"reproduced: {result.bug}")
+    else:
+        print("no bug reproduced")
+    if args.expect_bug and not result.buggy:
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if not args.list:
+        print("error: nothing to do — pass --list", file=sys.stderr)
+        return 2
+    from .bench.registry import all_benchmarks
+
+    rows = []
+    for benchmark in sorted(all_benchmarks(), key=lambda b: (b.suite, b.name)):
+        variants = [
+            name
+            for name in ("correct", "racy", "buggy")
+            if getattr(benchmark, name) is not None
+        ]
+        monitored = benchmark.buggy or benchmark.correct
+        monitors = ",".join(m.__name__ for m in monitored.monitors) or "-"
+        rows.append(
+            (benchmark.name, benchmark.suite, "/".join(variants),
+             benchmark.bug_kind if benchmark.buggy else "-", monitors)
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    header = ("name", "suite", "variants", "bug kind", "monitors")
+    widths = [max(w, len(h)) for w, h in zip(widths, header[:4])] + [0]
+    for row in (header, *rows):
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "test": _cmd_test,
+        "replay": _cmd_replay,
+        "bench": _cmd_bench,
+    }[args.command]
+    try:
+        return handler(args)
+    except PSharpError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into e.g. `head` that exited: the Unix convention
+        # is to die quietly.  Point stdout at /dev/null so the
+        # interpreter's exit-time flush cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

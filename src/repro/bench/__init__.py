@@ -7,7 +7,9 @@ from .registry import (
     buggy_main,
     get,
     liveness_suite,
+    names,
     resolve,
+    resolve_target,
     suite,
     table2_suite,
 )
@@ -19,7 +21,9 @@ __all__ = [
     "buggy_main",
     "get",
     "liveness_suite",
+    "names",
     "resolve",
+    "resolve_target",
     "suite",
     "table2_suite",
 ]

@@ -19,11 +19,13 @@ seeded bugs.
 
 from __future__ import annotations
 
+import importlib
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..core.machine import Machine, program_statistics
+from ..errors import PSharpError
 
 
 @dataclass
@@ -104,6 +106,64 @@ def get(name: str) -> Benchmark:
 def suite(name: str) -> List[Benchmark]:
     _ensure_loaded()
     return [b for b in _REGISTRY.values() if b.suite == name]
+
+
+def names() -> List[str]:
+    """Canonical registry names, sorted (CLI ``bench --list`` material)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def resolve_target(target: Union[str, Type[Machine]]) -> Variant:
+    """Resolve a campaign target specification into a runnable
+    :class:`Variant` — the single resolution path behind
+    :class:`repro.testing.config.TestConfig` and the ``python -m repro``
+    CLI.  Three spellings are accepted:
+
+    * a :class:`Machine` subclass — wrapped as a bare variant;
+    * a registry benchmark name or table alias (``"Raft"``,
+      ``"2PhaseCommit"``) — its *buggy* variant when one exists (the
+      tester hunts bugs; registry monitors and payload ride along),
+      otherwise the correct variant;
+    * ``"module:Class"`` — imported and wrapped, so any user program on
+      the path is targetable without registry plumbing.
+    """
+    if isinstance(target, type) and issubclass(target, Machine):
+        return Variant(machines=[target], main=target)
+    if not isinstance(target, str):
+        raise PSharpError(
+            f"campaign target must be a Machine subclass, a benchmark "
+            f"name, or 'module:Class', got {target!r}"
+        )
+    if ":" in target:
+        module_name, _, class_name = target.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise PSharpError(
+                f"cannot import module {module_name!r} for target "
+                f"{target!r}: {exc}"
+            ) from exc
+        cls = getattr(module, class_name, None)
+        if cls is None:
+            raise PSharpError(
+                f"module {module_name!r} has no attribute {class_name!r}"
+            )
+        if not (isinstance(cls, type) and issubclass(cls, Machine)):
+            raise PSharpError(
+                f"{target!r} resolved to {cls!r}, which is not a Machine "
+                "subclass"
+            )
+        return Variant(machines=[cls], main=cls)
+    _ensure_loaded()
+    canonical = resolve(target)
+    if canonical not in _REGISTRY:
+        raise PSharpError(
+            f"unknown benchmark {target!r}; known: {', '.join(names())} "
+            "(or pass 'module:Class')"
+        )
+    benchmark = _REGISTRY[canonical]
+    return benchmark.buggy if benchmark.buggy is not None else benchmark.correct
 
 
 def buggy_main(name: str) -> Type[Machine]:

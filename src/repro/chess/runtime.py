@@ -55,6 +55,10 @@ class ChessRuntime(BugFindingRuntime):
                 "visible-operation scheduling points cannot suspend a "
                 "coroutine — use 'pool' or 'spawn'"
             )
+        if kwargs.get("workers") == "auto":
+            # The automatic backend resolution can never pick inline here
+            # (see above), so "auto" collapses to the pooled threads.
+            kwargs["workers"] = "pool"
         super().__init__(strategy, **kwargs)
         self.race_detection = race_detection
         self.races: List[str] = []

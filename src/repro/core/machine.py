@@ -368,6 +368,36 @@ class Machine:
         return f"{type(self).__name__}{self._id.value}"
 
     # ------------------------------------------------------------------
+    # Backend resolution
+    # ------------------------------------------------------------------
+    @classmethod
+    def inline_compatible(cls) -> bool:
+        """Whether this machine class compiles on the single-thread inline
+        continuation backend.
+
+        The backend-resolution hook behind ``workers="auto"``: the testing
+        layers call it on a campaign's main machine class to decide between
+        the inline backend and the pooled-thread fallback.  The verdict is
+        the coroutine compiler's own (:func:`repro.core.continuations
+        .compile_inline_machine`) and is memoized per class either way —
+        a successful compile is reused by the inline backend itself, and a
+        failure is cached in ``_inline_incompatible`` (the compiler's
+        message) so repeated resolution costs one dict probe.
+        """
+        if cls.__dict__.get("_inline_ready"):
+            return True
+        if "_inline_incompatible" in cls.__dict__:
+            return False
+        from .continuations import InlineCompileError, compile_inline_machine
+
+        try:
+            compile_inline_machine(cls)
+        except InlineCompileError as exc:
+            cls._inline_incompatible = str(exc)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
     # The P# primitives available inside actions
     # ------------------------------------------------------------------
     def send(self, target: MachineId, event: Event) -> None:

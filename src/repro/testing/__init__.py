@@ -8,8 +8,10 @@ from .portfolio import (
     default_portfolio,
     make_strategy,
     register_strategy,
+    run_portfolio,
     strategy_names,
 )
+from .config import Campaign, TestConfig
 from .runtime import (
     BugFindingRuntime,
     ExecutionResult,
@@ -29,10 +31,13 @@ from .strategies import (
 from .trace import ScheduleTrace
 
 __all__ = [
+    "TestConfig",
+    "Campaign",
     "TestingEngine",
     "TestReport",
     "drive",
     "replay",
+    "run_portfolio",
     "Monitor",
     "EMachineHalted",
     "hot",

@@ -1,0 +1,334 @@
+"""The declarative campaign facade: :class:`TestConfig` + :class:`Campaign`.
+
+P# exposes one coherent tester surface — a configuration object plus a
+command-line tester — over its runtime, strategies and monitors
+(Section 7).  This module is that surface for the reproduction: a single
+frozen, picklable :class:`TestConfig` captures the *complete* campaign
+specification (program target, strategy spec(s), iteration/time/step
+budgets, worker back-end, specification monitors, liveness threshold,
+trace recording, seeds), and :class:`Campaign` executes it:
+
+* ``Campaign(config).run()`` — a single-strategy campaign
+  (:func:`repro.testing.engine.drive` under the hood);
+* ``Campaign(config).portfolio()`` — the sharded multi-process campaign
+  (:func:`repro.testing.portfolio.run_portfolio`);
+* ``Campaign(config).replay(trace)`` — deterministic reproduction from a
+  live :class:`~repro.testing.trace.ScheduleTrace` or a trace file.
+
+The historical entry points (``TestingEngine``, ``drive``,
+``PortfolioEngine``) remain as thin shims so existing code keeps
+working, but new configuration knobs land here once instead of being
+re-threaded through every layer.  The ``python -m repro`` CLI
+(:mod:`repro.__main__`) is built entirely on this module.
+
+``workers="auto"`` is the default back-end: campaigns run on the
+single-thread inline continuation runtime whenever the program compiles
+for it and transparently fall back to pooled threads when it does not
+(``InlineCompileError``), with the resolved choice recorded as
+``TestReport.effective_backend`` — every facade user inherits the
+inline speedup without opting in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type, Union
+
+from ..core.machine import Machine
+from ..errors import PSharpError
+from .engine import TestReport, drive, replay
+from .monitors import Monitor
+from .portfolio import (
+    _SEEDED,
+    StrategySpec,
+    default_portfolio,
+    make_strategy,
+    run_portfolio,
+)
+from .runtime import ExecutionResult
+from .strategies import SchedulingStrategy
+from .trace import ScheduleTrace
+
+#: worker back-ends a config may name; "auto" resolves per program.
+WORKER_MODES = ("auto", "inline", "pool", "spawn")
+
+StrategyLike = Union[StrategySpec, str, Tuple[str, dict], None]
+TargetLike = Union[str, Type[Machine]]
+
+
+def _normalize_strategy(value: StrategyLike) -> StrategySpec:
+    """Coerce the accepted strategy spellings into a :class:`StrategySpec`.
+
+    Deliberately does NOT fold the campaign seed in: the config stores
+    the user's spelling so "was a seed explicitly given?" survives
+    ``with_overrides`` re-validation — folding happens at build time
+    (:func:`_fold_seed`)."""
+    if value is None:
+        return StrategySpec("random")
+    if isinstance(value, StrategySpec):
+        return value
+    if isinstance(value, str):
+        return StrategySpec.parse(value)
+    if isinstance(value, tuple) and len(value) == 2:
+        return StrategySpec(value[0], dict(value[1]))
+    raise PSharpError(
+        "strategy must be a StrategySpec, a name like 'pct,depth=10', "
+        f"or a (name, params) tuple, got {value!r}"
+    )
+
+
+def _fold_seed(spec: StrategySpec, seed: Optional[int]) -> StrategySpec:
+    """The campaign ``seed`` applied to one spec: seedable strategies
+    without an explicit seed of their own inherit it."""
+    if seed is not None and spec.name in _SEEDED and "seed" not in spec.params:
+        return StrategySpec(spec.name, {**spec.params, "seed": seed})
+    return spec
+
+
+@dataclass(frozen=True)
+class TestConfig:
+    """One frozen, picklable description of a whole testing campaign.
+
+    (``__test__`` keeps pytest from collecting this as a test class.)
+
+    Everything the runtime/strategy/monitor stack can be told rides in
+    this one object, validated at construction; derive variations with
+    :meth:`with_overrides` (frozen configs never mutate, so sharing one
+    across threads/processes is safe — picklability is what lets
+    portfolio workers receive their campaign spec by value).
+
+    Parameters
+    ----------
+    program:
+        What to test: a :class:`Machine` subclass, a benchmark-registry
+        name or table alias (``"Raft"``, ``"2PhaseCommit"`` — the buggy
+        variant, with its monitors and payload, when one exists), or a
+        ``"module:Class"`` import path.
+    payload:
+        Payload for the main machine; ``None`` defers to the registry
+        variant's payload when the target is a benchmark name.
+    strategy:
+        The single-strategy campaign's scheduler: a
+        :class:`~repro.testing.portfolio.StrategySpec`, a CLI-style
+        string (``"pct,depth=10"``), or a ``(name, params)`` tuple.
+        Defaults to the random scheduler.
+    specs:
+        Portfolio mix for :meth:`Campaign.portfolio`; ``None`` means the
+        default diverse mix sized by ``portfolio_workers``.
+    seed:
+        Campaign seed, folded into ``strategy``/``specs`` entries that
+        are seedable and carry no explicit seed of their own.
+    workers:
+        Worker back-end: ``"auto"`` (default — inline continuation
+        runtime with transparent pooled fallback), ``"inline"``,
+        ``"pool"`` or ``"spawn"``.
+    monitors:
+        Specification monitor classes; empty defers to the registry
+        variant's monitors when the target is a benchmark name.
+    max_hot_steps / livelock_as_bug:
+        Liveness temperature threshold and the legacy depth-bound
+        heuristic toggle (see :class:`~repro.testing.runtime
+        .BugFindingRuntime`).
+    runtime_factory:
+        Advanced hook for substitute runtimes (e.g. the CHESS baseline);
+        note a non-module-level factory makes the config unpicklable.
+    """
+
+    __test__ = False
+
+    program: TargetLike
+    payload: Any = None
+    strategy: StrategyLike = None
+    specs: Optional[Tuple[StrategySpec, ...]] = None
+    seed: Optional[int] = None
+    max_iterations: int = 10_000
+    time_limit: Optional[float] = 300.0
+    max_steps: int = 20_000
+    stop_on_first_bug: bool = True
+    livelock_as_bug: bool = False
+    record_traces: bool = True
+    workers: str = "auto"
+    monitors: Tuple[Type[Monitor], ...] = ()
+    max_hot_steps: int = 1000
+    portfolio_workers: int = 4
+    start_method: Optional[str] = None
+    runtime_factory: Optional[Callable[..., Any]] = None
+
+    def __post_init__(self) -> None:
+        if not (
+            isinstance(self.program, str)
+            or (isinstance(self.program, type) and issubclass(self.program, Machine))
+        ):
+            raise PSharpError(
+                "program must be a Machine subclass, a benchmark name, or "
+                f"'module:Class', got {self.program!r}"
+            )
+        object.__setattr__(self, "strategy", _normalize_strategy(self.strategy))
+        if self.specs is not None:
+            normalized = tuple(_normalize_strategy(spec) for spec in self.specs)
+            if not normalized:
+                raise PSharpError("specs must name at least one strategy")
+            object.__setattr__(self, "specs", normalized)
+        object.__setattr__(self, "monitors", tuple(self.monitors))
+        if self.workers not in WORKER_MODES:
+            raise PSharpError(
+                f"workers must be one of {', '.join(WORKER_MODES)}, "
+                f"got {self.workers!r}"
+            )
+        if self.max_iterations < 1:
+            raise PSharpError("max_iterations must be >= 1")
+        if self.max_steps < 1:
+            raise PSharpError("max_steps must be >= 1")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise PSharpError("time_limit must be positive (or None)")
+        if self.max_hot_steps < 1:
+            raise PSharpError("max_hot_steps must be >= 1")
+        if self.portfolio_workers < 1:
+            raise PSharpError("portfolio_workers must be >= 1")
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **overrides: Any) -> "TestConfig":
+        """A new validated config with ``overrides`` applied — the one
+        way to vary a frozen config (`dataclasses.replace` semantics, so
+        ``__post_init__`` re-validates and re-normalizes)."""
+        return dataclasses.replace(self, **overrides)
+
+    def resolve_program(self) -> Tuple[Type[Machine], Any, Tuple[type, ...]]:
+        """Resolve ``program`` into ``(main_cls, payload, monitors)``.
+
+        Registry targets contribute their variant's payload and monitors
+        wherever the config does not override them; class and
+        ``module:Class`` targets use the config's values as-is."""
+        from ..bench.registry import resolve_target  # deferred: layer above
+
+        variant = resolve_target(self.program)
+        payload = self.payload if self.payload is not None else variant.payload
+        monitors = self.monitors if self.monitors else tuple(variant.monitors)
+        return variant.main, payload, monitors
+
+    def strategy_spec(self) -> StrategySpec:
+        """The single-strategy campaign's spec with the campaign ``seed``
+        folded in (seedable strategies without an explicit seed)."""
+        return _fold_seed(self.strategy, self.seed)
+
+    def portfolio_specs(self) -> Tuple[StrategySpec, ...]:
+        """The portfolio mix this config describes — explicit ``specs``
+        (campaign ``seed`` folded into seedable entries without their
+        own), or the default diverse mix sized by ``portfolio_workers``."""
+        if self.specs is not None:
+            return tuple(_fold_seed(spec, self.seed) for spec in self.specs)
+        return tuple(default_portfolio(self.portfolio_workers, self.seed))
+
+    def build_strategy(self) -> SchedulingStrategy:
+        """Construct the single-strategy campaign's scheduler."""
+        return make_strategy(self.strategy_spec())
+
+
+class Campaign:
+    """Execute the campaign a :class:`TestConfig` describes.
+
+    The facade over the three execution shapes — single-strategy
+    (:meth:`run`), sharded portfolio (:meth:`portfolio`) and
+    deterministic reproduction (:meth:`replay`) — all speaking the same
+    config vocabulary.  The last campaign report is kept on
+    :attr:`last_report`, so ``campaign.run()`` followed by
+    ``campaign.replay()`` reproduces the found bug with no plumbing.
+
+    ``strategy=`` accepts a *live* strategy instance overriding the
+    config's spec — the hook the deprecated :class:`~repro.testing
+    .engine.TestingEngine` shim uses, and the escape hatch for custom
+    strategies that have no registered factory.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        config: TestConfig,
+        *,
+        strategy: Optional[SchedulingStrategy] = None,
+    ) -> None:
+        if not isinstance(config, TestConfig):
+            raise PSharpError(f"Campaign needs a TestConfig, got {config!r}")
+        self.config = config
+        self._strategy_override = strategy
+        self.last_report: Optional[TestReport] = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        deadline: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+    ) -> TestReport:
+        """Run the single-strategy campaign; returns the
+        :class:`~repro.testing.engine.TestReport` (with
+        ``effective_backend`` resolved from ``workers="auto"``)."""
+        config = self.config
+        main_cls, payload, monitors = config.resolve_program()
+        strategy = self._strategy_override or config.build_strategy()
+        report = drive(
+            main_cls,
+            payload,
+            strategy,
+            max_iterations=config.max_iterations,
+            time_limit=config.time_limit,
+            max_steps=config.max_steps,
+            stop_on_first_bug=config.stop_on_first_bug,
+            livelock_as_bug=config.livelock_as_bug,
+            record_traces=config.record_traces,
+            runtime_factory=config.runtime_factory,
+            deadline=deadline,
+            stop_check=stop_check,
+            workers=config.workers,
+            monitors=monitors,
+            max_hot_steps=config.max_hot_steps,
+        )
+        self.last_report = report
+        return report
+
+    def portfolio(self, workers: Optional[int] = None) -> TestReport:
+        """Run the sharded multi-process portfolio campaign.
+
+        ``workers`` overrides ``config.portfolio_workers`` for the
+        default mix (explicit ``config.specs`` always win)."""
+        config = self.config
+        if workers is not None:
+            config = config.with_overrides(portfolio_workers=workers)
+        report = run_portfolio(config)
+        self.last_report = report
+        return report
+
+    def replay(
+        self,
+        trace: Union[ScheduleTrace, str, "os.PathLike", None] = None,
+    ) -> Optional[ExecutionResult]:
+        """Deterministically re-execute a recorded schedule under this
+        campaign's configuration (same program, monitors, bounds).
+
+        ``trace`` is a live :class:`~repro.testing.trace.ScheduleTrace`,
+        a trace-file path (:meth:`~repro.testing.trace.ScheduleTrace
+        .save` format), or ``None`` for the last campaign's winning
+        trace — in which case ``None`` is returned when that campaign
+        found no bug (or recorded no trace)."""
+        if trace is None:
+            report = self.last_report
+            if (
+                report is None
+                or report.first_bug is None
+                or report.first_bug.trace is None
+            ):
+                return None
+            trace = report.first_bug.trace
+        config = self.config
+        main_cls, payload, monitors = config.resolve_program()
+        return replay(
+            main_cls,
+            trace,
+            payload=payload,
+            max_steps=config.max_steps,
+            livelock_as_bug=config.livelock_as_bug,
+            workers=config.workers,
+            monitors=monitors,
+            max_hot_steps=config.max_hot_steps,
+        )

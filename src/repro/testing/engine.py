@@ -10,14 +10,30 @@ The iteration loop itself lives in :func:`drive`, so that a single-strategy
 :class:`TestingEngine` run and every worker of a
 :class:`~repro.testing.portfolio.PortfolioEngine` campaign execute the exact
 same code — a 1-worker portfolio is, by construction, the engine.
+
+This is also where ``workers="auto"`` (the default back-end everywhere
+above the raw runtime) is made *total*: the runtime resolves "auto" per
+main class (inline when it compiles, pool otherwise), and :func:`drive`
+catches the one case resolution cannot see — a machine class created
+mid-campaign that the coroutine compiler rejects — by restarting the
+campaign on the pooled backend from a :meth:`~repro.testing.strategies
+.SchedulingStrategy.reset` strategy, so the traces are bit-identical to
+an explicit ``workers="pool"`` run with the same seed.  The back-end a
+campaign actually ran on is recorded as
+:attr:`TestReport.effective_backend`.
+
+The declarative front door over this module is
+:class:`repro.testing.config.TestConfig` / :class:`~repro.testing.config
+.Campaign`; :class:`TestingEngine` is kept as a thin shim over it.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Type
+from typing import Any, Callable, List, Optional, Sequence, Type, Union
 
+from ..core.continuations import InlineCompileError
 from ..core.machine import Machine
 from ..errors import BugReport
 from .runtime import BugFindingRuntime, ExecutionResult
@@ -56,6 +72,11 @@ class TestReport:
     exhausted: bool = False
     timed_out: bool = False
     sub_reports: List["TestReport"] = field(default_factory=list)
+    # The worker back-end the campaign actually ran on ("inline", "pool",
+    # "spawn"), resolved from workers="auto" — how the inline-first
+    # fallback stays honest in A/B comparisons.  Merged campaign reports
+    # show "mixed" when sub-reports disagree.
+    effective_backend: Optional[str] = None
 
     @property
     def bug_found(self) -> bool:
@@ -105,6 +126,11 @@ class TestReport:
             self.first_bug = other.first_bug
             self.first_bug_iteration = other.first_bug_iteration
         self.timed_out = self.timed_out or other.timed_out
+        if other.effective_backend is not None:
+            if self.effective_backend is None:
+                self.effective_backend = other.effective_backend
+            elif self.effective_backend != other.effective_backend:
+                self.effective_backend = "mixed"
         return self
 
     @classmethod
@@ -134,6 +160,7 @@ class TestReport:
             first_bug_iteration=self.first_bug_iteration,
             exhausted=self.exhausted,
             timed_out=self.timed_out,
+            effective_backend=self.effective_backend,
         )
         clone.bugs = [bug.detached() for bug in self.bugs]
         if self.first_bug is not None:
@@ -156,7 +183,7 @@ def drive(
     runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
     deadline: Optional[float] = None,
     stop_check: Optional[Callable[[], bool]] = None,
-    workers: str = "pool",
+    workers: str = "auto",
     monitors: Sequence[type] = (),
     max_hot_steps: int = 1000,
 ) -> TestReport:
@@ -166,10 +193,18 @@ def drive(
     One runtime object is constructed for the whole campaign and reused
     across iterations (``BugFindingRuntime.reset`` runs at the top of
     every ``execute``), so per-iteration cost is the schedule itself, not
-    runtime construction.  ``workers`` selects the worker back-end
-    (pooled threads by default; ``"inline"`` for the single-thread
-    continuation runtime, ``"spawn"`` for the legacy
-    thread-per-execution path).
+    runtime construction.  ``workers`` selects the worker back-end:
+    ``"auto"`` (the default) runs on the single-thread inline
+    continuation runtime when the program compiles for it and on pooled
+    threads otherwise; the concrete modes (``"inline"``, ``"pool"``,
+    ``"spawn"``) pin a back-end.  Under ``"auto"``, a machine class
+    created mid-campaign that the coroutine compiler rejects triggers a
+    transparent restart of the whole campaign on the pooled backend (the
+    strategy is :meth:`~repro.testing.strategies.SchedulingStrategy
+    .reset`, so the restarted campaign's traces are bit-identical to an
+    explicit ``workers="pool"`` run; ``report.elapsed`` then covers only
+    the pooled rerun).  The back-end the campaign actually ran on is
+    reported as ``report.effective_backend``.
 
     ``deadline`` is an absolute ``time.monotonic()`` timestamp; when absent
     it is derived from ``time_limit``.  The deadline is enforced both
@@ -183,11 +218,58 @@ def drive(
     is the liveness temperature threshold (see
     :class:`~repro.testing.runtime.BugFindingRuntime`).
     """
+    if deadline is None and time_limit is not None:
+        deadline = time.monotonic() + time_limit
+    try:
+        return _campaign_loop(
+            main_cls, payload, strategy,
+            max_iterations=max_iterations, max_steps=max_steps,
+            stop_on_first_bug=stop_on_first_bug,
+            livelock_as_bug=livelock_as_bug, record_traces=record_traces,
+            runtime_factory=runtime_factory, deadline=deadline,
+            stop_check=stop_check, workers=workers, monitors=monitors,
+            max_hot_steps=max_hot_steps,
+        )
+    except InlineCompileError:
+        if workers != "auto":
+            raise
+        # The main class compiled (else "auto" would have resolved to
+        # pool before the strategy was ever consulted) but a machine
+        # class created mid-campaign did not.  Restart bit-identically on
+        # the pooled backend: reset() returns the strategy to its
+        # post-construction decision sequence.
+        strategy.reset()
+        return _campaign_loop(
+            main_cls, payload, strategy,
+            max_iterations=max_iterations, max_steps=max_steps,
+            stop_on_first_bug=stop_on_first_bug,
+            livelock_as_bug=livelock_as_bug, record_traces=record_traces,
+            runtime_factory=runtime_factory, deadline=deadline,
+            stop_check=stop_check, workers="pool", monitors=monitors,
+            max_hot_steps=max_hot_steps,
+        )
+
+
+def _campaign_loop(
+    main_cls: Type[Machine],
+    payload: Any,
+    strategy: SchedulingStrategy,
+    *,
+    max_iterations: int,
+    max_steps: int,
+    stop_on_first_bug: bool,
+    livelock_as_bug: bool,
+    record_traces: bool,
+    runtime_factory: Optional[Callable[..., BugFindingRuntime]],
+    deadline: Optional[float],
+    stop_check: Optional[Callable[[], bool]],
+    workers: str,
+    monitors: Sequence[type],
+    max_hot_steps: int,
+) -> TestReport:
     factory = runtime_factory or BugFindingRuntime
     report = TestReport(strategy=strategy.name)
     start = time.perf_counter()
-    if deadline is None and time_limit is not None:
-        deadline = time.monotonic() + time_limit
 
     def build_runtime() -> BugFindingRuntime:
         return factory(
@@ -203,6 +285,12 @@ def drive(
         )
 
     runtime = build_runtime()
+    # Custom runtime factories may resolve "auto" themselves (ChessRuntime
+    # collapses it to pool); ask the runtime what will actually run.
+    resolve = getattr(runtime, "resolve_workers", None)
+    report.effective_backend = (
+        resolve(main_cls) if resolve is not None else workers
+    )
     try:
         for iteration in range(max_iterations):
             if deadline is not None and time.monotonic() >= deadline:
@@ -219,7 +307,7 @@ def drive(
                 # off so the straggler cannot corrupt later iterations.
                 runtime = build_runtime()
             result = runtime.execute(main_cls, payload)
-            report.max_machines = max(report.max_machines, len(runtime._machines))
+            report.max_machines = max(report.max_machines, runtime.machine_count)
             report.total_steps += result.steps
             report.total_scheduling_points += result.scheduling_points
             if result.status in ("time-bound", "stopped"):
@@ -254,6 +342,16 @@ class TestingEngine:
     within a 5 minute time limit" (Table 2), stopping at the first bug for
     systematic strategies, or continuing to estimate bug density for the
     random scheduler.
+
+    .. deprecated::
+        ``TestingEngine`` is kept as a thin shim over the declarative
+        facade — construct a :class:`repro.testing.config.TestConfig` and
+        run it through :class:`repro.testing.config.Campaign` instead.
+        The shim's one capability the facade does not mirror is passing a
+        *live* strategy instance (the facade builds strategies from
+        picklable :class:`~repro.testing.portfolio.StrategySpec`\\ s);
+        ``Campaign`` accepts one via its ``strategy=`` override, which is
+        exactly what this shim does.
     """
 
     __test__ = False
@@ -271,7 +369,7 @@ class TestingEngine:
         livelock_as_bug: bool = False,
         record_traces: bool = True,
         runtime_factory: Optional[Callable[..., BugFindingRuntime]] = None,
-        workers: str = "pool",
+        workers: str = "auto",
         monitors: Sequence[type] = (),
         max_hot_steps: int = 1000,
     ) -> None:
@@ -294,10 +392,12 @@ class TestingEngine:
         deadline: Optional[float] = None,
         stop_check: Optional[Callable[[], bool]] = None,
     ) -> TestReport:
-        return drive(
-            self.main_cls,
-            self.payload,
-            self.strategy,
+        # Deferred import: config is the layer above this module.
+        from .config import Campaign, TestConfig
+
+        config = TestConfig(
+            program=self.main_cls,
+            payload=self.payload,
             max_iterations=self.max_iterations,
             time_limit=self.time_limit,
             max_steps=self.max_steps,
@@ -305,38 +405,58 @@ class TestingEngine:
             livelock_as_bug=self.livelock_as_bug,
             record_traces=self.record_traces,
             runtime_factory=self.runtime_factory,
-            deadline=deadline,
-            stop_check=stop_check,
             workers=self.workers,
             monitors=self.monitors,
             max_hot_steps=self.max_hot_steps,
+        )
+        return Campaign(config, strategy=self.strategy).run(
+            deadline=deadline, stop_check=stop_check
         )
 
 
 def replay(
     main_cls: Type[Machine],
-    trace: ScheduleTrace,
+    trace: Union[ScheduleTrace, str, "os.PathLike"],
     payload: Any = None,
     max_steps: int = 20_000,
     livelock_as_bug: bool = False,
-    workers: str = "pool",
+    workers: str = "auto",
     monitors: Sequence[type] = (),
     max_hot_steps: int = 1000,
 ) -> ExecutionResult:
     """Deterministically re-execute a recorded schedule.
 
     This is the paper's bug-reproduction workflow: a found bug's trace is
-    replayed to observe the same failure again.  Replay is back-end
-    agnostic: a trace recorded under either worker mode replays under
-    either mode.  Pass the same ``monitors`` (and ``max_hot_steps``) the
-    bug was found with: monitor-detected safety and liveness violations
-    reproduce, and the re-recorded trace is bit-identical to the original.
+    replayed to observe the same failure again.  ``trace`` is either a
+    live :class:`ScheduleTrace` or the path of a file written by
+    :meth:`ScheduleTrace.save` (how the ``python -m repro replay`` CLI
+    hands traces around).  Replay is back-end agnostic: a trace recorded
+    under any worker mode replays under any mode (the default ``"auto"``
+    picks the inline runtime when the program compiles for it, falling
+    back to pooled threads otherwise).  Pass the same ``monitors`` (and
+    ``max_hot_steps``) the bug was found with: monitor-detected safety
+    and liveness violations reproduce, and the re-recorded trace is
+    bit-identical to the original.
     """
-    strategy = ReplayStrategy(trace)
-    strategy.prepare_iteration()
-    runtime = BugFindingRuntime(
-        strategy, max_steps=max_steps, record_trace=True,
-        livelock_as_bug=livelock_as_bug, workers=workers,
-        monitors=monitors, max_hot_steps=max_hot_steps,
-    )
-    return runtime.execute(main_cls, payload)
+    if not isinstance(trace, ScheduleTrace):
+        trace = ScheduleTrace.load(trace)
+
+    def attempt(mode: str) -> ExecutionResult:
+        strategy = ReplayStrategy(trace)
+        strategy.prepare_iteration()
+        runtime = BugFindingRuntime(
+            strategy, max_steps=max_steps, record_trace=True,
+            livelock_as_bug=livelock_as_bug, workers=mode,
+            monitors=monitors, max_hot_steps=max_hot_steps,
+        )
+        return runtime.execute(main_cls, payload)
+
+    try:
+        return attempt(workers)
+    except InlineCompileError:
+        if workers != "auto":
+            raise
+        # A machine created mid-replay does not compile inline: replay the
+        # whole schedule on the pooled backend (fresh ReplayStrategy, so
+        # no recorded decision is lost to the aborted inline attempt).
+        return attempt("pool")

@@ -26,12 +26,16 @@ deterministically in the parent via :func:`repro.testing.engine.replay`.
 
 from __future__ import annotations
 
+import ast
 import multiprocessing
 import queue as queue_module
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+if TYPE_CHECKING:  # circular at runtime: config is the layer above
+    from .config import TestConfig
 
 from ..core.machine import Machine
 from ..errors import PSharpError
@@ -78,6 +82,32 @@ class StrategySpec:
         inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
         return f"{self.name}({inner})"
 
+    @classmethod
+    def parse(cls, text: str) -> "StrategySpec":
+        """Parse ``"name"`` or ``"name,kw=value,..."`` into a spec — the
+        ``--strategy`` syntax of the ``python -m repro`` CLI.  Values go
+        through ``ast.literal_eval`` (so ``seed=7`` is an int and
+        ``bias=0.7`` a float) and fall back to the raw string."""
+        name, _, rest = text.partition(",")
+        name = name.strip()
+        if not name:
+            raise PSharpError(f"empty strategy name in {text!r}")
+        params: Dict[str, Any] = {}
+        if rest.strip():
+            for pair in rest.split(","):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                if not sep or not key:
+                    raise PSharpError(
+                        f"malformed strategy parameter {pair.strip()!r} in "
+                        f"{text!r} (expected kw=value)"
+                    )
+                try:
+                    params[key] = ast.literal_eval(value.strip())
+                except (ValueError, SyntaxError):
+                    params[key] = value.strip()
+        return cls(name, params)
+
 
 StrategyFactory = Callable[..., SchedulingStrategy]
 
@@ -108,7 +138,16 @@ def make_strategy(spec: StrategySpec) -> SchedulingStrategy:
         raise PSharpError(
             f"unknown strategy {spec.name!r}; known: {', '.join(strategy_names())}"
         ) from None
-    return factory(**spec.params)
+    try:
+        return factory(**spec.params)
+    except TypeError as exc:
+        # A misspelled/extra parameter is a configuration error, not a
+        # crash: surface it as the library's error type so callers (the
+        # CLI's exit-2 path, the portfolio's fail-fast loop) report it
+        # cleanly.
+        raise PSharpError(
+            f"invalid parameters for strategy {spec.label()!r}: {exc}"
+        ) from exc
 
 
 # The diverse default mix the portfolio cycles through: a fair random
@@ -177,7 +216,8 @@ def _portfolio_worker(
             max_steps=config["max_steps"],
             stop_on_first_bug=config["stop_on_first_bug"],
             livelock_as_bug=config["livelock_as_bug"],
-            record_traces=True,
+            record_traces=config["record_traces"],
+            runtime_factory=config["runtime_factory"],
             deadline=deadline,
             stop_check=cancel.is_set,
             workers=config["runtime_workers"],
@@ -190,6 +230,139 @@ def _portfolio_worker(
     except Exception as exc:  # noqa: BLE001 - never strand the parent
         results.put((index, TestReport(strategy=spec.label())))
         raise SystemExit(f"portfolio worker {index} ({spec.label()}) failed: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# The portfolio runner
+# ---------------------------------------------------------------------------
+#: extra seconds granted after the deadline/cancellation for workers to
+#: flush their final reports before being terminated.
+DEFAULT_GRACE = 10.0
+
+
+def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> TestReport:
+    """Run a sharded multi-process campaign described by a
+    :class:`~repro.testing.config.TestConfig`.
+
+    The core of what used to live inside ``PortfolioEngine.run`` (that
+    class is now a thin shim over this function, as is
+    :meth:`~repro.testing.config.Campaign.portfolio`): one worker process
+    per strategy spec (``config.specs``, or the default diverse mix sized
+    by ``config.portfolio_workers``), the shared deadline, first-bug-wins
+    cancellation, and the honest merge of detached per-worker reports —
+    including ``effective_backend``, which each worker's
+    :func:`~repro.testing.engine.drive` resolves process-locally from
+    ``config.workers`` (``"auto"`` gives every worker the inline runtime
+    with the pooled fallback).
+    """
+    main_cls, payload, monitors = config.resolve_program()
+    specs = list(config.portfolio_specs())
+    for spec in specs:
+        # Fail fast in the parent: a typo'd strategy name or parameter
+        # must raise here, not silently produce an empty worker shard.
+        make_strategy(spec)
+    start_method = config.start_method
+    if start_method is None:
+        # fork shares the already-imported program modules with workers;
+        # fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+
+    ctx = multiprocessing.get_context(start_method)
+    cancel = ctx.Event()
+    results = ctx.Queue()
+    deadline = (
+        time.monotonic() + config.time_limit
+        if config.time_limit is not None
+        else float("inf")
+    )
+    worker_config = {
+        "max_iterations": config.max_iterations,
+        "max_steps": config.max_steps,
+        "stop_on_first_bug": config.stop_on_first_bug,
+        "livelock_as_bug": config.livelock_as_bug,
+        "record_traces": config.record_traces,
+        # Crosses the process boundary: under a "spawn"/"forkserver"
+        # start method the factory must be picklable (module-level).
+        "runtime_factory": config.runtime_factory,
+        "runtime_workers": config.workers,
+        "monitors": tuple(monitors),
+        "max_hot_steps": config.max_hot_steps,
+    }
+    processes = []
+    wall_start = time.perf_counter()
+    for index, spec in enumerate(specs):
+        process = ctx.Process(
+            target=_portfolio_worker,
+            args=(
+                index, spec, main_cls, payload, worker_config,
+                deadline, cancel, results,
+            ),
+            daemon=True,
+            name=f"portfolio-{index}-{spec.name}",
+        )
+        processes.append(process)
+        process.start()
+
+    collected: Dict[int, TestReport] = {}
+    winner_index: Optional[int] = None
+    hard_stop = deadline + grace
+    while len(collected) < len(specs):
+        budget = hard_stop - time.monotonic()
+        if budget <= 0:
+            break
+        try:
+            index, report = results.get(timeout=min(budget, 0.25))
+        except queue_module.Empty:
+            if all(not p.is_alive() for p in processes) and results.empty():
+                break
+            continue
+        collected[index] = report
+        if (
+            winner_index is None
+            and report.first_bug is not None
+            and config.stop_on_first_bug
+        ):
+            winner_index = index
+            cancel.set()
+            # The rest will stop at their next poll; give them only a
+            # short flush window instead of the full remaining budget.
+            hard_stop = min(hard_stop, time.monotonic() + grace)
+
+    cancel.set()
+    for process in processes:
+        process.join(timeout=1.0)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+    # Late flushes can still land after the loop gave up on a worker.
+    while len(collected) < len(specs):
+        try:
+            index, report = results.get_nowait()
+        except queue_module.Empty:
+            break
+        collected.setdefault(index, report)
+    results.close()
+
+    ordered = []
+    for index, spec in enumerate(specs):
+        report = collected.get(index)
+        if report is None:
+            # Worker died or missed the flush window: contribute an
+            # empty shard so the merge arithmetic stays honest.
+            report = TestReport(strategy=spec.label())
+        if report.strategy != spec.label():
+            report.strategy = spec.label()
+        ordered.append(report)
+
+    campaign = TestReport.merged(ordered, strategy="portfolio")
+    campaign.elapsed = time.perf_counter() - wall_start
+    if winner_index is not None:
+        winning = collected[winner_index]
+        campaign.first_bug = winning.first_bug
+        campaign.first_bug_iteration = winning.first_bug_iteration
+    return campaign
 
 
 # ---------------------------------------------------------------------------
@@ -208,13 +381,18 @@ class PortfolioEngine:
     A 1-spec portfolio is behaviourally identical to a
     :class:`~repro.testing.engine.TestingEngine` run with that strategy —
     both execute :func:`~repro.testing.engine.drive`.
+
+    .. deprecated::
+        ``PortfolioEngine`` is kept as a thin shim over the declarative
+        facade: its ``run`` builds a :class:`repro.testing.config
+        .TestConfig` and calls :func:`run_portfolio` — prefer
+        ``Campaign(config).portfolio()``.
     """
 
     __test__ = False
 
-    #: extra seconds granted after the deadline/cancellation for workers
-    #: to flush their final reports before being terminated.
-    grace = 10.0
+    #: per-instance override of the worker flush window (see DEFAULT_GRACE).
+    grace = DEFAULT_GRACE
 
     def __init__(
         self,
@@ -230,7 +408,7 @@ class PortfolioEngine:
         stop_on_first_bug: bool = True,
         livelock_as_bug: bool = False,
         start_method: Optional[str] = None,
-        runtime_workers: str = "pool",
+        runtime_workers: str = "auto",
         monitors: Sequence[type] = (),
         max_hot_steps: int = 1000,
     ) -> None:
@@ -255,116 +433,45 @@ class PortfolioEngine:
         self.max_steps = max_steps
         self.stop_on_first_bug = stop_on_first_bug
         self.livelock_as_bug = livelock_as_bug
-        if runtime_workers not in ("inline", "pool", "spawn"):
+        if runtime_workers not in ("auto", "inline", "pool", "spawn"):
             raise ValueError(
-                "runtime_workers must be 'inline', 'pool' or 'spawn', "
-                f"got {runtime_workers!r}"
+                "runtime_workers must be 'auto', 'inline', 'pool' or "
+                f"'spawn', got {runtime_workers!r}"
             )
-        # Worker back-end each subprocess's runtime uses: every portfolio
-        # worker gets its own process-local pooled runtime by default;
-        # "inline" runs each worker's schedules on that process's single
-        # thread via the continuation runtime.
+        # Worker back-end each subprocess's runtime uses: "auto" (default)
+        # gives every worker the single-thread inline continuation runtime
+        # with a transparent process-local fallback to pooled threads;
+        # concrete modes pin the back-end.
         self.runtime_workers = runtime_workers
         # Monitor *classes* ship to workers (picklable by reference, like
         # the program's machine classes); instances are per-execution.
         self.monitors = tuple(monitors)
         self.max_hot_steps = max_hot_steps
-        if start_method is None:
-            # fork shares the already-imported program modules with workers;
-            # fall back to the platform default elsewhere.
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
+        # None flows through to run_portfolio, the single place the
+        # fork-preference default is resolved.
         self.start_method = start_method
         self.last_report: Optional[TestReport] = None
 
     # ------------------------------------------------------------------
     def run(self) -> TestReport:
-        ctx = multiprocessing.get_context(self.start_method)
-        cancel = ctx.Event()
-        results = ctx.Queue()
-        deadline = time.monotonic() + self.time_limit
-        config = {
-            "max_iterations": self.max_iterations,
-            "max_steps": self.max_steps,
-            "stop_on_first_bug": self.stop_on_first_bug,
-            "livelock_as_bug": self.livelock_as_bug,
-            "runtime_workers": self.runtime_workers,
-            "monitors": self.monitors,
-            "max_hot_steps": self.max_hot_steps,
-        }
-        processes = []
-        wall_start = time.perf_counter()
-        for index, spec in enumerate(self.specs):
-            process = ctx.Process(
-                target=_portfolio_worker,
-                args=(
-                    index, spec, self.main_cls, self.payload, config,
-                    deadline, cancel, results,
-                ),
-                daemon=True,
-                name=f"portfolio-{index}-{spec.name}",
-            )
-            processes.append(process)
-            process.start()
+        # Deferred import: config is the layer above this module.
+        from .config import TestConfig
 
-        collected: Dict[int, TestReport] = {}
-        winner_index: Optional[int] = None
-        hard_stop = deadline + self.grace
-        while len(collected) < len(self.specs):
-            budget = hard_stop - time.monotonic()
-            if budget <= 0:
-                break
-            try:
-                index, report = results.get(timeout=min(budget, 0.25))
-            except queue_module.Empty:
-                if all(not p.is_alive() for p in processes) and results.empty():
-                    break
-                continue
-            collected[index] = report
-            if (
-                winner_index is None
-                and report.first_bug is not None
-                and self.stop_on_first_bug
-            ):
-                winner_index = index
-                cancel.set()
-                # The rest will stop at their next poll; give them only a
-                # short flush window instead of the full remaining budget.
-                hard_stop = min(hard_stop, time.monotonic() + self.grace)
-
-        cancel.set()
-        for process in processes:
-            process.join(timeout=1.0)
-        for process in processes:
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
-        # Late flushes can still land after the loop gave up on a worker.
-        while len(collected) < len(self.specs):
-            try:
-                index, report = results.get_nowait()
-            except queue_module.Empty:
-                break
-            collected.setdefault(index, report)
-        results.close()
-
-        ordered = []
-        for index, spec in enumerate(self.specs):
-            report = collected.get(index)
-            if report is None:
-                # Worker died or missed the flush window: contribute an
-                # empty shard so the merge arithmetic stays honest.
-                report = TestReport(strategy=spec.label())
-            if report.strategy != spec.label():
-                report.strategy = spec.label()
-            ordered.append(report)
-
-        campaign = TestReport.merged(ordered, strategy="portfolio")
-        campaign.elapsed = time.perf_counter() - wall_start
-        if winner_index is not None:
-            winning = collected[winner_index]
-            campaign.first_bug = winning.first_bug
-            campaign.first_bug_iteration = winning.first_bug_iteration
+        config = TestConfig(
+            program=self.main_cls,
+            payload=self.payload,
+            specs=tuple(self.specs),
+            max_iterations=self.max_iterations,
+            time_limit=self.time_limit,
+            max_steps=self.max_steps,
+            stop_on_first_bug=self.stop_on_first_bug,
+            livelock_as_bug=self.livelock_as_bug,
+            workers=self.runtime_workers,
+            monitors=self.monitors,
+            max_hot_steps=self.max_hot_steps,
+            start_method=self.start_method,
+        )
+        campaign = run_portfolio(config, grace=self.grace)
         self.last_report = campaign
         return campaign
 

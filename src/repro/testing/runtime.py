@@ -340,8 +340,15 @@ class BugFindingRuntime(RuntimeBase):
         :mod:`repro.core.continuations`); ``"pool"`` binds machines to
         reusable pooled threads (default); ``"spawn"`` creates a thread
         per machine per execution (the historical path, kept for A/B
-        benchmarking).  All three produce identical traces for the same
-        strategy seed.
+        benchmarking); ``"auto"`` resolves per campaign at
+        :meth:`execute` time — inline when the main machine class
+        compiles (``Machine.inline_compatible``), pool otherwise — with
+        the resolved choice readable as :attr:`effective_workers`.  (A
+        machine class *created mid-execution* that fails to compile
+        still raises :class:`InlineCompileError` out of ``execute``;
+        the engine layer catches it and restarts the campaign on the
+        pooled backend.)  All back-ends produce identical traces for
+        the same strategy seed.
     pool:
         The :class:`WorkerPool` to draw pooled workers from; defaults to
         the shared process-wide pool.
@@ -383,9 +390,10 @@ class BugFindingRuntime(RuntimeBase):
         max_hot_steps: int = 1000,
     ) -> None:
         super().__init__()
-        if workers not in ("inline", "pool", "spawn"):
+        if workers not in ("auto", "inline", "pool", "spawn"):
             raise ValueError(
-                f"workers must be 'inline', 'pool' or 'spawn', got {workers!r}"
+                "workers must be 'auto', 'inline', 'pool' or 'spawn', "
+                f"got {workers!r}"
             )
         for monitor_cls in monitors:
             if not (isinstance(monitor_cls, type) and issubclass(monitor_cls, Monitor)):
@@ -399,6 +407,11 @@ class BugFindingRuntime(RuntimeBase):
         self.deadline = deadline
         self.stop_check = stop_check
         self.workers = workers
+        # The back-end actually driving executions: equal to ``workers``
+        # when concrete, re-resolved per main class at execute() time when
+        # "auto" (provisionally a threaded mode so construction-time
+        # reset() builds the _done lock).
+        self.effective_workers = workers if workers != "auto" else "pool"
         self.monitors: Tuple[Type[Monitor], ...] = tuple(monitors)
         self.max_hot_steps = max_hot_steps
         self._has_liveness_monitors = any(has_hot_states(m) for m in self.monitors)
@@ -441,7 +454,7 @@ class BugFindingRuntime(RuntimeBase):
         # Execution state.
         self._workers: Dict[MachineId, Any] = {}
         self._worker_list: List[Any] = []  # in machine-creation order
-        if self.workers == "inline":
+        if self.effective_workers == "inline":
             # No waiting thread to signal: the trampoline runs the whole
             # execution synchronously inside execute().
             self._done = None
@@ -510,6 +523,24 @@ class BugFindingRuntime(RuntimeBase):
     # ==================================================================
     # Public entry point
     # ==================================================================
+    def resolve_workers(self, main_cls: Type[Machine]) -> str:
+        """The back-end :meth:`execute` will use for ``main_cls``.
+
+        Concrete ``workers`` values are themselves; ``"auto"`` resolves
+        through the backend-resolution hook
+        (:meth:`~repro.core.machine.Machine.inline_compatible`): the
+        inline continuation runtime when the main class compiles, the
+        pooled-thread backend otherwise."""
+        if self.workers != "auto":
+            return self.workers
+        return "inline" if main_cls.inline_compatible() else "pool"
+
+    @property
+    def machine_count(self) -> int:
+        """Number of machines the current (or most recent) execution has
+        created, the main machine included."""
+        return len(self._machines)
+
     def execute(self, main_cls: Type[Machine], payload: Any = None) -> ExecutionResult:
         """Run the program once, from start to completion, under the
         strategy's schedule.  Reusable: each call starts from a reset
@@ -519,6 +550,10 @@ class BugFindingRuntime(RuntimeBase):
                 "runtime is tainted: a worker thread from a previous "
                 "execution never unwound; construct a fresh runtime"
             )
+        if self.workers == "auto":
+            # Resolve before reset(): the worker plumbing reset() builds
+            # (the _done lock, pooled bookkeeping) is back-end specific.
+            self.effective_workers = self.resolve_workers(main_cls)
         self.reset()
         trace = ScheduleTrace() if self.record_trace else None
         self._trace = trace
@@ -527,13 +562,13 @@ class BugFindingRuntime(RuntimeBase):
         self.strategy.observe_forced(mid)
         if trace is not None:
             trace.append(SCHED_TAG, mid.value)
-        if self.workers == "inline":
+        if self.effective_workers == "inline":
             self._run_inline(self._workers[mid])
         else:
             self._workers[mid].signal.release()
             self._done.acquire()
             self._cancel_all()
-            if self.workers == "pool":
+            if self.effective_workers == "pool":
                 self._release_pool_workers()
             else:
                 for worker in self._workers.values():
@@ -764,14 +799,15 @@ class BugFindingRuntime(RuntimeBase):
     # Worker machinery
     # ==================================================================
     def _spawn(self, machine_cls: Type[Machine], payload: Any) -> MachineId:
-        if self.workers == "inline" and "_inline_ready" not in machine_cls.__dict__:
+        inline = self.effective_workers == "inline"
+        if inline and "_inline_ready" not in machine_cls.__dict__:
             compile_inline_machine(machine_cls)
         machine = self._instantiate(machine_cls, payload)
-        if self.workers == "inline":
+        if inline:
             worker = self._workers[machine.id] = _InlineWorker(self, machine)
             self._worker_list.append(worker)
             return machine.id
-        if self.workers == "pool":
+        if self.effective_workers == "pool":
             worker = self._pool.checkout()
             worker.machine = machine
             worker.mid = machine.id
@@ -1228,7 +1264,7 @@ class BugFindingRuntime(RuntimeBase):
         no hand-off happens.  The forced decision is still recorded, so
         traces are identical whether or not the fast path fires.
         """
-        if self.workers == "inline":
+        if self.effective_workers == "inline":
             # Reached only when a handler the coroutine compiler could not
             # analyse (source unavailable, or resolved through a
             # static/classmethod shim) calls a scheduling primitive

@@ -63,6 +63,25 @@ class SchedulingStrategy(ABC):
         """Whether long executions remain meaningful under this strategy."""
         return False
 
+    def reset(self) -> None:
+        """Return the strategy to its pristine post-construction state.
+
+        Campaign restarts rely on this being *exact*: after ``reset()``
+        the strategy must make the same decision sequence a freshly
+        constructed twin would.  ``workers="auto"``'s mid-campaign
+        inline-to-pool fallback (:func:`repro.testing.engine.drive`)
+        resets the strategy and re-runs the campaign on the pooled
+        backend so its traces are bit-identical to an explicit
+        ``workers="pool"`` run with the same seed.  Custom strategies
+        that cannot restart should keep this default, which refuses
+        loudly rather than silently resuming mid-state.
+        """
+        raise NotImplementedError(
+            f"strategy {self.name!r} does not implement reset(); pass an "
+            "explicit workers= backend instead of 'auto' (the automatic "
+            "inline-to-pool fallback restarts the campaign via reset())"
+        )
+
 
 class _DfsFrame:
     __slots__ = ("options", "index")
@@ -92,6 +111,12 @@ class DfsStrategy(SchedulingStrategy):
         # True once any execution ran past the depth cap: the exploration
         # below the cap is then incomplete (iterative deepening keys off
         # this to decide whether deepening can uncover anything new).
+        self.depth_cap_hit = False
+
+    def reset(self) -> None:
+        self._stack = []
+        self._cursor = 0
+        self._started = False
         self.depth_cap_hit = False
 
     def prepare_iteration(self) -> bool:
@@ -163,6 +188,10 @@ class IterativeDeepeningDfsStrategy(SchedulingStrategy):
         self.depth = initial_depth
         self._dfs = DfsStrategy(max_depth=initial_depth)
 
+    def reset(self) -> None:
+        self.depth = self._initial_depth
+        self._dfs = DfsStrategy(max_depth=self._initial_depth)
+
     def prepare_iteration(self) -> bool:
         if self._dfs.prepare_iteration():
             return True
@@ -195,6 +224,9 @@ class RandomStrategy(SchedulingStrategy):
         self._seed = seed if seed is not None else random.randrange(2**31)
         self._iteration = -1
         self._rng = random.Random(self._seed)
+
+    def reset(self) -> None:
+        self._iteration = -1
 
     def prepare_iteration(self) -> bool:
         self._iteration += 1
@@ -246,6 +278,11 @@ class FairRandomStrategy(SchedulingStrategy):
         self._iteration = -1
         self._rng = random.Random(self._seed)
         self._last_run: dict = {}  # MachineId -> step it last ran
+        self._step = 0
+
+    def reset(self) -> None:
+        self._iteration = -1
+        self._last_run = {}
         self._step = 0
 
     def prepare_iteration(self) -> bool:
@@ -309,6 +346,11 @@ class ReplayStrategy(SchedulingStrategy):
         self._liveness_recorded = any(
             kind == LIVENESS for kind, _ in trace.decisions
         )
+        self._pos = 0
+        self._ran = False
+        self.diverged = False
+
+    def reset(self) -> None:
         self._pos = 0
         self._ran = False
         self.diverged = False
@@ -405,6 +447,13 @@ class PctStrategy(SchedulingStrategy):
         # the previous iteration, so short programs still see them.
         self._horizon = 32
 
+    def reset(self) -> None:
+        self._iteration = -1
+        self._priorities = {}
+        self._change_points = set()
+        self._step = 0
+        self._horizon = 32
+
     def prepare_iteration(self) -> bool:
         self._iteration += 1
         self._horizon = max(self._horizon, self._step, 2)
@@ -478,6 +527,12 @@ class DelayBoundingStrategy(SchedulingStrategy):
         self._step = 0
         # Like PCT, delay points are sampled within the observed execution
         # length so they actually land inside short runs.
+        self._horizon = 32
+
+    def reset(self) -> None:
+        self._iteration = -1
+        self._delay_points = set()
+        self._step = 0
         self._horizon = 32
 
     def prepare_iteration(self) -> bool:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from array import array
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -128,6 +129,23 @@ class ScheduleTrace:
     @classmethod
     def from_json(cls, text: str) -> "ScheduleTrace":
         return cls([(kind, value) for kind, value in json.loads(text)])
+
+    def save(self, path: "str | os.PathLike") -> None:
+        """Write the trace to ``path`` in the ``to_json`` wire format.
+
+        The file a found bug leaves behind is the reproduction artifact:
+        ``ScheduleTrace.load(path)`` (or ``repro.replay(cls, path)`` / the
+        ``python -m repro replay --trace`` CLI) replays it bit-for-bit."""
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike") -> "ScheduleTrace":
+        """Read a trace previously written by :meth:`save` (or any file in
+        the ``to_json`` wire format)."""
+        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
 
     def __str__(self) -> str:
         parts = []

@@ -1,0 +1,181 @@
+"""Subprocess tests for the ``python -m repro`` command-line tester.
+
+These run the real module entry point end to end (argument parsing,
+target resolution, campaign execution, trace files, exit codes) — the
+same invocations the CI smoke lane makes.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_cli(*args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+        timeout=timeout,
+    )
+
+
+class TestBenchList:
+    def test_lists_registry(self):
+        proc = run_cli("bench", "--list")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("Raft", "TwoPhaseCommit", "BoundedAsync", "TokenRing"):
+            assert name in proc.stdout
+        assert "ElectionSafetyMonitor" in proc.stdout
+
+
+class TestTestCommand:
+    def test_benchmark_campaign_and_replay_roundtrip(self, tmp_path):
+        trace = tmp_path / "bounded.trace.json"
+        proc = run_cli(
+            "test", "BoundedAsync", "--max-iterations", "50", "--seed", "7",
+            "--expect-bug", "--save-trace", str(trace),
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "backend: inline" in proc.stdout
+        assert "bug:" in proc.stdout
+        assert trace.exists()
+
+        replayed = run_cli(
+            "replay", "BoundedAsync", "--trace", str(trace), "--expect-bug"
+        )
+        assert replayed.returncode == 0, replayed.stderr + replayed.stdout
+        assert "reproduced:" in replayed.stdout
+
+    def test_module_class_target(self):
+        proc = run_cli(
+            "test", "tests.machines:RacyCounter",
+            "--max-iterations", "300", "--seed", "1", "--expect-bug",
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "bug:" in proc.stdout
+
+    def test_strategy_parameters(self):
+        proc = run_cli(
+            "test", "BoundedAsync", "--strategy", "pct,depth=10,seed=3",
+            "--max-iterations", "30",
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert proc.stdout.startswith("pct:")
+
+    def test_portfolio_flag(self):
+        proc = run_cli(
+            "test", "BoundedAsync", "--portfolio", "2", "--seed", "7",
+            "--max-iterations", "100", "--time-limit", "60",
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "worker" in proc.stdout  # per-strategy sub-report lines
+
+    def test_expect_bug_unmet_exits_1(self):
+        proc = run_cli(
+            "test", "tests.machines:Ping",
+            "--max-iterations", "20", "--seed", "1", "--expect-bug",
+        )
+        assert proc.returncode == 1, proc.stderr + proc.stdout
+        assert "no bug found" in proc.stdout
+
+    def test_unknown_benchmark_exits_2(self):
+        proc = run_cli("test", "NoSuchBenchmark", "--max-iterations", "5")
+        assert proc.returncode == 2
+        assert "unknown benchmark" in proc.stderr
+
+    def test_portfolio_and_strategy_conflict(self):
+        proc = run_cli(
+            "test", "BoundedAsync", "--portfolio", "2",
+            "--strategy", "random", "--max-iterations", "5",
+        )
+        assert proc.returncode == 2
+        assert "not both" in proc.stderr
+
+
+class TestMainInProcess:
+    """The same flows through ``repro.__main__.main`` directly — fast,
+    and visible to in-process coverage measurement."""
+
+    def test_bench_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Raft" in out and "liveness" in out
+
+    def test_test_save_trace_and_replay(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        trace = tmp_path / "bounded.json"
+        code = main([
+            "test", "BoundedAsync", "--max-iterations", "50", "--seed", "7",
+            "--expect-bug", "--save-trace", str(trace),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "trace saved" in out
+        assert main([
+            "replay", "BoundedAsync", "--trace", str(trace), "--expect-bug",
+        ]) == 0
+        assert "reproduced:" in capsys.readouterr().out
+
+    def test_explicit_strategies_form_a_portfolio(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "test", "TwoPhaseCommit",
+            "--strategy", "random,seed=7", "--strategy", "fair-random,seed=8",
+            "--max-iterations", "100", "--time-limit", "60",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert out.count("worker") >= 2
+
+    def test_exit_codes(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["test", "NoSuchBenchmark", "--max-iterations", "5"]) == 2
+        assert main([
+            "test", "tests.machines:Ping",
+            "--max-iterations", "10", "--seed", "1", "--expect-bug",
+        ]) == 1
+        capsys.readouterr()
+
+    def test_config_errors_exit_2_not_traceback(self, capsys):
+        from repro.__main__ import main
+
+        # Misspelled strategy parameter: a clean config error, no crash.
+        assert main([
+            "test", "BoundedAsync", "--strategy", "pct,dept=3",
+            "--max-iterations", "5",
+        ]) == 2
+        assert "invalid parameters" in capsys.readouterr().err
+        # --portfolio 0 hits TestConfig validation, not a silent 4-worker run.
+        assert main([
+            "test", "BoundedAsync", "--portfolio", "0", "--max-iterations", "5",
+        ]) == 2
+        assert "portfolio_workers" in capsys.readouterr().err
+        # bench without --list refuses instead of pretending the flag matters.
+        assert main(["bench"]) == 2
+        capsys.readouterr()
+
+    def test_save_trace_without_bug_warns(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        trace = tmp_path / "none.json"
+        assert main([
+            "test", "tests.machines:Ping", "--max-iterations", "5",
+            "--seed", "1", "--save-trace", str(trace),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "no trace to save" in captured.err
+        assert not trace.exists()

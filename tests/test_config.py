@@ -1,0 +1,595 @@
+"""Tests for the declarative campaign facade (``TestConfig``/``Campaign``)
+and the ``workers="auto"`` inline-first back-end resolution.
+
+The load-bearing property here is *bit-identity under fallback*: a
+campaign that starts on the inline backend and transparently falls back
+to pooled threads (because some machine class cannot be compiled to a
+coroutine) must explore exactly the schedules an explicit
+``workers="pool"`` campaign with the same seed explores.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import (
+    Campaign,
+    DfsStrategy,
+    Event,
+    Machine,
+    PortfolioEngine,
+    RandomStrategy,
+    State,
+    StrategySpec,
+    TestConfig,
+    TestingEngine,
+    replay,
+)
+from repro.bench.registry import resolve_target
+from repro.errors import PSharpError
+from repro.testing import BugFindingRuntime, ScheduleTrace
+from repro.testing.engine import drive
+from repro.testing.strategies import (
+    DelayBoundingStrategy,
+    FairRandomStrategy,
+    IterativeDeepeningDfsStrategy,
+    PctStrategy,
+)
+
+from .machines import Ping, RacyCounter
+
+
+class EKick(Event):
+    pass
+
+
+class EReply(Event):
+    pass
+
+
+class Echo(Machine):
+    """Replies with its own id; the reply arrival order is the race."""
+
+    class Init(State):
+        initial = True
+        actions = {EKick: "on_kick"}
+
+    def on_kick(self):
+        self.send(self.payload, EReply(self.id.value))
+        self.halt()
+
+
+class _RacerMixin(Machine):
+    """Two children race their replies; out-of-id-order arrival is the
+    seeded bug, so some (not all) schedules are buggy.  (No states here —
+    concrete subclasses declare their own Init so validation sees the
+    ``go`` entry they define.)"""
+
+    def on_reply(self):
+        self.order.append(self.payload)
+        if len(self.order) == 2:
+            self.assert_that(
+                self.order == sorted(self.order), "replies out of order"
+            )
+            self.halt()
+
+
+class LambdaRacer(_RacerMixin):
+    """Non-reshapeable *main* class: sends hide inside a lambda, which the
+    coroutine compiler rejects, so ``workers="auto"`` must resolve to the
+    pooled backend before the strategy is ever consulted."""
+
+    class Init(State):
+        initial = True
+        entry = "go"
+        actions = {EReply: "on_reply"}
+
+    def go(self):
+        self.order = []
+        for _ in range(2):
+            child = self.create_machine(Echo, self.id)
+            fire = lambda c=child: self.send(c, EKick(self.id))  # noqa: E731
+            fire()
+
+
+class MidCampaignRacer(_RacerMixin):
+    """Compiles fine itself but creates a child that does not: the
+    failure surfaces mid-execution, forcing the transparent restart."""
+
+    class Init(State):
+        initial = True
+        entry = "go"
+        actions = {EReply: "on_reply"}
+
+    def go(self):
+        self.order = []
+        for _ in range(2):
+            child = self.create_machine(LambdaEcho, self.id)
+            self.send(child, EKick(self.id))
+
+
+class LambdaEcho(Machine):
+    class Init(State):
+        initial = True
+        actions = {EKick: "on_kick"}
+
+    def on_kick(self):
+        reply = lambda: self.send(self.payload, EReply(self.id.value))  # noqa: E731
+        reply()
+        self.halt()
+
+
+def _campaign_fingerprints(main_cls, workers, seed=3, iterations=40):
+    """Drive a fixed-budget campaign and fingerprint every buggy trace."""
+    report = drive(
+        main_cls,
+        None,
+        RandomStrategy(seed=seed),
+        max_iterations=iterations,
+        time_limit=30.0,
+        max_steps=2_000,
+        stop_on_first_bug=False,
+        workers=workers,
+    )
+    return report, [bug.trace.fingerprint() for bug in report.bugs]
+
+
+# ---------------------------------------------------------------------------
+# TestConfig: validation, normalization, immutability
+# ---------------------------------------------------------------------------
+class TestTestConfigValidation:
+    def test_strategy_string_normalizes_to_spec(self):
+        config = TestConfig(program=Ping, strategy="pct,depth=10,seed=3")
+        assert config.strategy == StrategySpec("pct", {"depth": 10, "seed": 3})
+
+    def test_default_strategy_is_random(self):
+        assert TestConfig(program=Ping).strategy == StrategySpec("random")
+
+    def test_seed_folds_into_seedable_strategy_at_build_time(self):
+        config = TestConfig(program=Ping, strategy="random", seed=9)
+        # The stored spec keeps the user's spelling; folding happens in
+        # strategy_spec()/build_strategy(), not at construction.
+        assert "seed" not in config.strategy.params
+        assert config.strategy_spec().params["seed"] == 9
+
+    def test_explicit_strategy_seed_wins_over_campaign_seed(self):
+        config = TestConfig(program=Ping, strategy="random,seed=1", seed=9)
+        assert config.strategy_spec().params["seed"] == 1
+
+    def test_seed_not_folded_into_unseedable_strategy(self):
+        config = TestConfig(program=Ping, strategy="dfs", seed=9)
+        assert config.strategy_spec().params == {}
+
+    def test_with_overrides_reseeds(self):
+        # Regression: folding at construction used to freeze the first
+        # seed into the spec, making later seed overrides silent no-ops.
+        config = TestConfig(program=Ping, seed=1)
+        derived = config.with_overrides(seed=13)
+        assert derived.strategy_spec().params["seed"] == 13
+
+    def test_seed_folds_into_portfolio_specs(self):
+        config = TestConfig(
+            program=Ping, seed=7,
+            specs=("random", "pct,depth=5", "random,seed=2", "iddfs"),
+        )
+        folded = config.portfolio_specs()
+        assert folded[0].params["seed"] == 7
+        assert folded[1].params == {"depth": 5, "seed": 7}
+        assert folded[2].params["seed"] == 2  # explicit seed wins
+        assert folded[3].params == {}         # unseedable untouched
+
+    def test_specs_normalize(self):
+        config = TestConfig(
+            program=Ping, specs=("random,seed=1", StrategySpec("iddfs"))
+        )
+        assert config.specs == (
+            StrategySpec("random", {"seed": 1}),
+            StrategySpec("iddfs"),
+        )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"workers": "turbo"},
+            {"max_iterations": 0},
+            {"max_steps": 0},
+            {"time_limit": 0},
+            {"max_hot_steps": 0},
+            {"portfolio_workers": 0},
+            {"specs": ()},
+            {"strategy": 42},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(PSharpError):
+            TestConfig(program=Ping, **overrides)
+
+    def test_invalid_program_rejected(self):
+        with pytest.raises(PSharpError):
+            TestConfig(program=42)
+
+    def test_frozen(self):
+        config = TestConfig(program=Ping)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.max_iterations = 5
+
+    def test_with_overrides_returns_new_validated_config(self):
+        config = TestConfig(program=Ping, seed=7)
+        derived = config.with_overrides(max_iterations=50, strategy="dfs")
+        assert derived.max_iterations == 50
+        assert derived.strategy == StrategySpec("dfs")
+        assert config.max_iterations == 10_000  # original untouched
+        with pytest.raises(PSharpError):
+            config.with_overrides(workers="nope")
+
+    def test_picklable(self):
+        config = TestConfig(
+            program="Raft", strategy="pct,depth=10", seed=7,
+            specs=("random,seed=1",), monitors=(),
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_build_strategy(self):
+        config = TestConfig(program=Ping, strategy="pct,depth=5,seed=2")
+        strategy = config.build_strategy()
+        assert strategy.name == "pct"
+
+
+class TestTargetResolution:
+    def test_machine_class_target(self):
+        main_cls, payload, monitors = TestConfig(program=Ping).resolve_program()
+        assert main_cls is Ping and payload is None and monitors == ()
+
+    def test_benchmark_name_brings_buggy_variant_and_monitors(self):
+        config = TestConfig(program="Raft")
+        main_cls, payload, monitors = config.resolve_program()
+        from repro.bench import get
+
+        benchmark = get("Raft")
+        assert main_cls is benchmark.buggy.main
+        assert monitors == tuple(benchmark.buggy.monitors)
+        assert payload == benchmark.buggy.payload
+
+    def test_table_alias_resolves(self):
+        variant = resolve_target("2PhaseCommit")
+        from repro.bench import get
+
+        assert variant is get("TwoPhaseCommit").buggy
+
+    def test_module_class_target(self):
+        variant = resolve_target("tests.machines:Ping")
+        assert variant.main is Ping
+
+    def test_config_monitors_override_registry_monitors(self):
+        from repro.testing.monitors import Monitor
+
+        class Quiet(Monitor):
+            class Idle(State):
+                initial = True
+
+        config = TestConfig(program="Raft", monitors=(Quiet,))
+        _, _, monitors = config.resolve_program()
+        assert monitors == (Quiet,)
+
+    @pytest.mark.parametrize(
+        "target", ["NoSuchBenchmark", "nosuch.module:Thing",
+                   "tests.machines:nope", "tests.machines:EPing"]
+    )
+    def test_bad_targets_raise(self, target):
+        with pytest.raises(PSharpError):
+            resolve_target(target)
+
+
+class TestStrategySpecParse:
+    def test_bare_name(self):
+        assert StrategySpec.parse("random") == StrategySpec("random")
+
+    def test_typed_params(self):
+        spec = StrategySpec.parse("fair-random,seed=3,bias=0.75")
+        assert spec.params == {"seed": 3, "bias": 0.75}
+
+    @pytest.mark.parametrize("text", ["", "pct,depth", "pct,=3", ","])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(PSharpError):
+            StrategySpec.parse(text)
+
+
+# ---------------------------------------------------------------------------
+# Strategy reset(): the exactness the fallback restart relies on
+# ---------------------------------------------------------------------------
+class TestStrategyReset:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomStrategy(seed=11),
+            lambda: FairRandomStrategy(seed=11),
+            lambda: PctStrategy(seed=11, depth=5),
+            lambda: DelayBoundingStrategy(seed=11, delays=3),
+            lambda: DfsStrategy(),
+            lambda: IterativeDeepeningDfsStrategy(initial_depth=4),
+        ],
+        ids=["random", "fair-random", "pct", "delay-bounding", "dfs", "iddfs"],
+    )
+    def test_reset_restores_initial_decision_sequence(self, factory):
+        def fingerprints(strategy):
+            report = drive(
+                RacyCounter,
+                None,
+                strategy,
+                max_iterations=25,
+                time_limit=30.0,
+                max_steps=500,
+                stop_on_first_bug=False,
+                workers="pool",
+            )
+            return [bug.trace.fingerprint() for bug in report.bugs], report.iterations
+
+        strategy = factory()
+        first = fingerprints(strategy)
+        strategy.reset()
+        again = fingerprints(strategy)
+        fresh = fingerprints(factory())
+        assert again == first == fresh
+
+    def test_base_reset_refuses(self):
+        from repro.testing.strategies import SchedulingStrategy
+
+        with pytest.raises(NotImplementedError):
+            SchedulingStrategy.reset(RandomStrategy(seed=1))
+
+
+# ---------------------------------------------------------------------------
+# workers="auto": resolution, fallback, bit-identity
+# ---------------------------------------------------------------------------
+class TestAutoBackend:
+    def test_compiler_verdicts(self):
+        assert LambdaRacer.inline_compatible() is False
+        assert LambdaRacer.inline_compatible() is False  # memoized path
+        assert "_inline_incompatible" in LambdaRacer.__dict__
+        assert MidCampaignRacer.inline_compatible() is True
+        assert LambdaEcho.inline_compatible() is False
+        assert Echo.inline_compatible() is True
+
+    def test_runtime_resolves_auto_per_main_class(self):
+        strategy = RandomStrategy(seed=1)
+        runtime = BugFindingRuntime(strategy, workers="auto")
+        assert runtime.resolve_workers(Echo) == "inline"
+        assert runtime.resolve_workers(LambdaRacer) == "pool"
+        strategy.prepare_iteration()
+        result = runtime.execute(LambdaRacer)
+        assert runtime.effective_workers == "pool"
+        assert result.status in ("ok", "bug")
+
+    def test_registry_benchmark_runs_inline_under_auto(self):
+        from repro.bench import buggy_main
+
+        report = drive(
+            buggy_main("BoundedAsync"),
+            None,
+            RandomStrategy(seed=7),
+            max_iterations=20,
+            time_limit=30.0,
+            stop_on_first_bug=False,
+        )
+        assert report.effective_backend == "inline"
+        assert report.iterations == 20
+
+    def test_incompatible_main_falls_back_bit_identically(self):
+        auto_report, auto_prints = _campaign_fingerprints(LambdaRacer, "auto")
+        pool_report, pool_prints = _campaign_fingerprints(LambdaRacer, "pool")
+        assert auto_report.effective_backend == "pool"
+        assert pool_report.effective_backend == "pool"
+        assert auto_report.iterations == pool_report.iterations
+        assert auto_report.buggy_iterations == pool_report.buggy_iterations
+        assert auto_report.total_scheduling_points == pool_report.total_scheduling_points
+        assert auto_prints == pool_prints and auto_prints  # found some bugs
+
+    def test_mid_campaign_failure_restarts_bit_identically(self):
+        auto_report, auto_prints = _campaign_fingerprints(MidCampaignRacer, "auto")
+        pool_report, pool_prints = _campaign_fingerprints(MidCampaignRacer, "pool")
+        assert auto_report.effective_backend == "pool"
+        assert auto_report.iterations == pool_report.iterations
+        assert auto_report.total_steps == pool_report.total_steps
+        assert auto_prints == pool_prints and auto_prints
+
+    def test_explicit_inline_still_raises(self):
+        from repro.core.continuations import InlineCompileError
+
+        with pytest.raises(InlineCompileError):
+            drive(
+                MidCampaignRacer,
+                None,
+                RandomStrategy(seed=3),
+                max_iterations=5,
+                time_limit=30.0,
+                workers="inline",
+            )
+
+    def test_replay_of_fallback_bug_reproduces(self):
+        report, _ = _campaign_fingerprints(MidCampaignRacer, "auto")
+        assert report.first_bug is not None
+        result = replay(MidCampaignRacer, report.first_bug.trace)
+        assert result.buggy
+        assert result.trace.fingerprint() == report.first_bug.trace.fingerprint()
+
+    def test_chess_runtime_collapses_auto_to_pool(self):
+        from repro.chess import ChessRuntime
+
+        runtime = ChessRuntime(RandomStrategy(seed=0), workers="auto")
+        assert runtime.workers == "pool"
+        assert runtime.resolve_workers(Ping) == "pool"
+
+
+# ---------------------------------------------------------------------------
+# Campaign facade
+# ---------------------------------------------------------------------------
+class TestCampaign:
+    def _config(self, **overrides):
+        base = dict(
+            program=RacyCounter,
+            seed=5,
+            max_iterations=200,
+            time_limit=30.0,
+            max_steps=2_000,
+        )
+        base.update(overrides)
+        return TestConfig(**base)
+
+    def test_run_finds_bug_and_reports_backend(self):
+        campaign = Campaign(self._config())
+        report = campaign.run()
+        assert report.bug_found
+        assert report.effective_backend == "inline"
+        assert campaign.last_report is report
+
+    def test_replay_defaults_to_last_winner(self):
+        campaign = Campaign(self._config())
+        campaign.run()
+        result = campaign.replay()
+        assert result is not None and result.buggy
+
+    def test_replay_without_bug_returns_none(self):
+        campaign = Campaign(self._config(program=Ping))
+        report = campaign.run()
+        assert not report.bug_found
+        assert campaign.replay() is None
+
+    def test_replay_accepts_trace_file(self, tmp_path):
+        campaign = Campaign(self._config())
+        report = campaign.run()
+        path = tmp_path / "bug.trace.json"
+        report.first_bug.trace.save(path)
+        result = campaign.replay(str(path))
+        assert result.buggy
+        result2 = campaign.replay(path)  # PathLike too
+        assert result2.buggy
+
+    def test_portfolio_runs_specs(self):
+        campaign = Campaign(
+            self._config(
+                specs=("random,seed=5", "fair-random,seed=6"),
+                stop_on_first_bug=False,
+                max_iterations=50,
+            )
+        )
+        report = campaign.portfolio()
+        assert len(report.sub_reports) == 2
+        assert report.iterations > 0
+        assert report.effective_backend == "inline"
+
+    def test_portfolio_workers_override(self):
+        campaign = Campaign(self._config(max_iterations=30))
+        report = campaign.portfolio(workers=2)
+        assert len(report.sub_reports) == 2
+
+    def test_portfolio_honors_record_traces_off(self):
+        campaign = Campaign(
+            self._config(
+                specs=("random,seed=5",),
+                record_traces=False,
+                max_iterations=100,
+            )
+        )
+        report = campaign.portfolio()
+        assert report.bug_found
+        assert report.first_bug.trace is None
+
+    def test_campaign_requires_config(self):
+        with pytest.raises(PSharpError):
+            Campaign(RacyCounter)
+
+    def test_live_strategy_override(self):
+        strategy = RandomStrategy(seed=5)
+        campaign = Campaign(self._config(), strategy=strategy)
+        report = campaign.run()
+        assert report.strategy == "random"
+        assert report.bug_found
+
+
+# ---------------------------------------------------------------------------
+# The deprecated shims still speak the new vocabulary
+# ---------------------------------------------------------------------------
+class TestShims:
+    def test_testing_engine_reports_effective_backend(self):
+        engine = TestingEngine(
+            RacyCounter,
+            strategy=RandomStrategy(seed=5),
+            max_iterations=200,
+            time_limit=30.0,
+        )
+        report = engine.run()
+        assert report.bug_found
+        assert report.effective_backend == "inline"
+
+    def test_portfolio_engine_defaults_to_auto(self):
+        engine = PortfolioEngine(
+            RacyCounter,
+            specs=[StrategySpec("random", {"seed": 5})],
+            max_iterations=100,
+            time_limit=30.0,
+        )
+        assert engine.runtime_workers == "auto"
+        report = engine.run()
+        assert report.effective_backend == "inline"
+        assert engine.replay_winner(report) is None or report.bug_found
+
+    def test_report_merge_marks_mixed_backends(self):
+        from repro.testing.engine import TestReport
+
+        a = TestReport(strategy="a", effective_backend="inline")
+        b = TestReport(strategy="b", effective_backend="pool")
+        merged = TestReport.merged([a, b])
+        assert merged.effective_backend == "mixed"
+        assert merged.detached().effective_backend == "mixed"
+
+    def test_report_merge_keeps_common_backend(self):
+        from repro.testing.engine import TestReport
+
+        a = TestReport(strategy="a", effective_backend="inline")
+        b = TestReport(strategy="b", effective_backend="inline")
+        c = TestReport(strategy="c")  # dead shard: no backend resolved
+        assert TestReport.merged([a, b, c]).effective_backend == "inline"
+
+
+# ---------------------------------------------------------------------------
+# Satellites: machine_count, trace save/load
+# ---------------------------------------------------------------------------
+class TestMachineCount:
+    def test_machine_count_tracks_registry(self):
+        strategy = RandomStrategy(seed=1)
+        strategy.prepare_iteration()
+        runtime = BugFindingRuntime(strategy)
+        runtime.execute(Ping)
+        assert runtime.machine_count == len(runtime._machines) == 2
+
+    def test_report_max_machines_uses_it(self):
+        report = drive(
+            Ping, None, RandomStrategy(seed=1),
+            max_iterations=5, time_limit=30.0, stop_on_first_bug=False,
+        )
+        assert report.max_machines == 2
+
+
+class TestTraceSaveLoad:
+    def test_round_trip(self, tmp_path):
+        trace = ScheduleTrace(
+            [("sched", 0), ("bool", 1), ("int", 3), ("monitor", 0)]
+        )
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ScheduleTrace.load(path)
+        assert loaded == trace
+        assert loaded.fingerprint() == trace.fingerprint()
+
+    def test_engine_replay_accepts_path(self, tmp_path):
+        report = drive(
+            RacyCounter, None, RandomStrategy(seed=5),
+            max_iterations=200, time_limit=30.0, max_steps=2_000,
+        )
+        assert report.first_bug is not None
+        path = tmp_path / "bug.json"
+        report.first_bug.trace.save(path)
+        result = replay(RacyCounter, str(path))
+        assert result.buggy

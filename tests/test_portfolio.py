@@ -267,5 +267,5 @@ class TestPortfolioEngine:
         # not silently produce an empty worker shard at run() time.
         with pytest.raises(PSharpError, match="unknown strategy"):
             PortfolioEngine(Ping, specs=[StrategySpec("randm", {})])
-        with pytest.raises(TypeError):
+        with pytest.raises(PSharpError, match="invalid parameters"):
             PortfolioEngine(Ping, specs=[StrategySpec("pct", {"depht": 3})])
