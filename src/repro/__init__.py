@@ -62,6 +62,7 @@ from .testing import (
     BugFindingRuntime,
     Campaign,
     TestConfig,
+    FaultConfig,
     DelayBoundingStrategy,
     DfsStrategy,
     EMachineHalted,
@@ -109,6 +110,7 @@ __all__ = [
     "AnalysisReport",
     "TestConfig",
     "Campaign",
+    "FaultConfig",
     "TestingEngine",
     "TestReport",
     "run_portfolio",

@@ -26,7 +26,9 @@ Subcommands
     Print the benchmark registry (suites, variants, monitors).
 
 Exit status: 0 on success, 1 when ``--expect-bug`` was passed and no bug
-was found (or a replay reproduced none), 2 on configuration errors.
+was found (or a replay reproduced none), 2 on configuration errors (a
+corrupt trace or checkpoint file included), 130 when a campaign was
+interrupted by Ctrl-C (partial report printed, checkpoint flushed).
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from typing import List, Optional
 
 from .errors import PSharpError
 from .testing.config import Campaign, TestConfig
+from .testing.faults import FaultConfig
 from .testing.portfolio import StrategySpec, strategy_names
 
 
@@ -51,6 +54,59 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="worker back-end (default: auto = inline with pooled fallback)",
     )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    faults = parser.add_argument_group(
+        "fault injection",
+        "deterministic environment faults, recorded in the schedule trace "
+        "(replay a faulty trace with the same fault flags)",
+    )
+    faults.add_argument(
+        "--fault-drop", type=float, default=0.0, metavar="P",
+        help="per-send probability of dropping the message",
+    )
+    faults.add_argument(
+        "--fault-duplicate", type=float, default=0.0, metavar="P",
+        help="per-send probability of delivering the message twice",
+    )
+    faults.add_argument(
+        "--fault-delay", type=float, default=0.0, metavar="P",
+        help="per-send probability of reordering the message behind the "
+        "target's newest pending event",
+    )
+    faults.add_argument(
+        "--fault-crash", type=float, default=0.0, metavar="P",
+        help="per-step probability of crash-restarting a machine "
+        "(persistent fields survive, the rest reboots)",
+    )
+    faults.add_argument(
+        "--fault-budget", type=int, default=16, metavar="N",
+        help="max injected faults per execution (default: 16)",
+    )
+    faults.add_argument(
+        "--no-faults", action="store_true",
+        help="disable fault injection even for fault-enabled benchmark "
+        "targets (e.g. RaftLossy)",
+    )
+
+
+def _fault_config_from_args(args: argparse.Namespace) -> Optional[FaultConfig]:
+    """The --fault-* flags as a FaultConfig: None defers to the registry
+    variant's default; --no-faults is the explicit all-off config."""
+    if args.no_faults:
+        return FaultConfig()
+    if any(
+        (args.fault_drop, args.fault_duplicate, args.fault_delay, args.fault_crash)
+    ):
+        return FaultConfig(
+            drop=args.fault_drop,
+            duplicate=args.fault_duplicate,
+            delay=args.fault_delay,
+            crash=args.fault_crash,
+            max_faults=args.fault_budget,
+        )
+    return None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,7 +153,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--keep-going", action="store_true",
         help="keep exploring after the first bug (estimate bug density)",
     )
+    test.add_argument(
+        "--iteration-timeout", type=float, metavar="SECONDS",
+        help="per-iteration watchdog: cancel an execution stuck longer "
+        "than this and continue the campaign (counted as watchdog hits)",
+    )
+    test.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="periodically persist portfolio-campaign progress to FILE "
+        "(implies a portfolio campaign)",
+    )
+    test.add_argument(
+        "--resume", metavar="FILE",
+        help="resume a killed portfolio campaign from its checkpoint, "
+        "skipping shards whose reports were already persisted",
+    )
     _add_budget_arguments(test)
+    _add_fault_arguments(test)
     test.add_argument(
         "--save-trace", metavar="FILE",
         help="write the first found bug's schedule trace to FILE",
@@ -116,6 +188,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace file written by 'test --save-trace' or ScheduleTrace.save",
     )
     _add_budget_arguments(rep)
+    _add_fault_arguments(rep)
     rep.add_argument(
         "--expect-bug", action="store_true",
         help="exit 1 unless the replay reproduced a bug",
@@ -132,6 +205,12 @@ def _report_lines(report) -> List[str]:
     lines = [report.summary(), f"backend: {report.effective_backend}"]
     for sub in report.sub_reports:
         lines.append(f"  worker {sub.summary()}")
+    if report.watchdog_hits:
+        lines.append(
+            f"watchdog: {report.watchdog_hits} stuck execution(s) canceled"
+        )
+    if report.interrupted:
+        lines.append("campaign interrupted (partial results)")
     if report.first_bug is not None:
         lines.append(f"bug: {report.first_bug}")
     elif report.exhausted:
@@ -148,7 +227,14 @@ def _cmd_test(args: argparse.Namespace) -> int:
             "pass either --portfolio N (the default mix) or repeated "
             "--strategy entries (an explicit mix), not both"
         )
-    portfolio = args.portfolio is not None or len(specs) > 1
+    # Checkpoint/resume are portfolio-campaign features: asking for them
+    # promotes a single-strategy invocation to a 1-shard portfolio.
+    portfolio = (
+        args.portfolio is not None
+        or len(specs) > 1
+        or args.checkpoint is not None
+        or args.resume is not None
+    )
     config = TestConfig(
         program=args.target,
         strategy=specs[0] if len(specs) == 1 else None,
@@ -164,9 +250,19 @@ def _cmd_test(args: argparse.Namespace) -> int:
         # None -> the facade default; explicit values (0 included) go
         # through TestConfig validation so --portfolio 0 is rejected.
         portfolio_workers=args.portfolio if args.portfolio is not None else 4,
+        faults=_fault_config_from_args(args),
+        iteration_timeout=args.iteration_timeout,
     )
+    if portfolio and len(specs) == 1 and args.portfolio is None:
+        # --checkpoint/--resume with one --strategy: that one spec is the
+        # whole (resumable) mix rather than the default 4-worker blend.
+        config = config.with_overrides(specs=(specs[0],), portfolio_workers=1)
     campaign = Campaign(config)
-    report = campaign.portfolio() if portfolio else campaign.run()
+    report = (
+        campaign.portfolio(checkpoint=args.checkpoint, resume=args.resume)
+        if portfolio
+        else campaign.run()
+    )
     for line in _report_lines(report):
         print(line)
     if args.save_trace:
@@ -179,6 +275,10 @@ def _cmd_test(args: argparse.Namespace) -> int:
                 f"trace saved to {args.save_trace} "
                 f"({len(bug.trace)} decisions)"
             )
+    if report.interrupted:
+        # The conventional 128+SIGINT code: scripts watching the campaign
+        # can tell "killed mid-flight, checkpoint written" from failure.
+        return 130
     if args.expect_bug and not report.bug_found:
         return 1
     return 0
@@ -189,6 +289,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         program=args.target,
         max_steps=args.max_steps,
         workers=args.workers,
+        faults=_fault_config_from_args(args),
     )
     result = Campaign(config).replay(args.trace)
     assert result is not None  # an explicit trace always replays

@@ -1,0 +1,251 @@
+"""Fault-enabled benchmark variants: bugs reachable only under faults.
+
+The paper tests *schedule* nondeterminism; real distributed protocols
+also face *environment* nondeterminism — lossy networks and crashing
+nodes.  These variants pair existing PSharpBench protocols with a
+:class:`~repro.testing.faults.FaultConfig` so the tester explores both
+kinds of nondeterminism at once, deterministically (every injected fault
+is a strategy decision recorded in the schedule trace).
+
+Each benchmark here carries a bug that **no schedule can reach without
+faults**:
+
+``RaftLossy``
+    The *correct* Raft implementation plus an election-progress liveness
+    monitor, driven by a timer that aims every timeout at one fixed
+    server.  With reliable delivery that server always wins an election:
+    it is the only candidate, each peer's inbox serves its vote requests
+    in term order, so the final-term request always finds ``term >
+    current_term`` and draws a grant that completes the majority (the
+    stock nondeterministic timer does *not* give this guarantee — three
+    interleaved candidacies can split-vote and exhaust the timeout
+    budget leaderless, schedule alone).  The monitor goes cold and the
+    run is clean.  Under message drops a vote request, a grant — or the
+    server's initial config — can vanish, the system quiesces
+    leaderless, and the monitor is still hot at termination: a liveness
+    violation whose *only* cause is loss.
+
+``TwoPhaseCommitCrash``
+    Two-phase commit with a coordinator that crash-restarts from
+    durable state (``persistent_fields``).  The correct recovery rule is
+    *presumed abort*: a coordinator that cannot find a logged decision
+    for the in-flight transaction must abort it.  The buggy variant
+    recovers with *presumed commit* — sound-looking (it only commits
+    what it was already voting on) but wrong: the un-logged missing vote
+    may be a NO, and a participant then applies a commit for a
+    transaction it rejected.  Without crash faults both coordinators
+    behave identically to the stock ``Coordinator``, so the bug is
+    crash-only by construction.
+"""
+
+from __future__ import annotations
+
+from ..core.machine import Machine, State
+from ..testing.faults import FaultConfig
+from ..testing.monitors import Monitor, cold, hot
+from .raft import (
+    TIMEOUTS,
+    EConfig,
+    EFire,
+    ELeaderElected,
+    ETimeout as ERaftTimeout,
+    RaftServer,
+    SafetyChecker,
+)
+from .two_phase_commit import (
+    AtomicityChecker,
+    AtomicityMonitor,
+    Coordinator,
+    EStartTxn,
+    ETimeout,
+    EVote,
+    Participant,
+    Timer,
+)
+
+
+# ---------------------------------------------------------------------------
+# RaftLossy: leader election under message loss
+# ---------------------------------------------------------------------------
+class ElectionProgressMonitor(Monitor):
+    """Liveness spec: an election eventually completes.
+
+    Hot from boot until the first ``ELeaderElected`` announcement
+    (observed at send time, so a dropped announcement still cools the
+    monitor — the drop models network loss, not a failure of the
+    elected server to exist).  Loss-free Raft always elects within the
+    driver's timeout budget; staying hot at termination therefore
+    witnesses a loss-induced election failure."""
+
+    observes = (ELeaderElected,)
+
+    @hot
+    class AwaitingLeader(State):
+        initial = True
+        transitions = {ELeaderElected: "LeaderElected"}
+
+    @cold
+    class LeaderElected(State):
+        ignored = (ELeaderElected,)
+
+
+class FixedElectionTimer(Machine):
+    """Environment for the lossy variant: every timeout goes to server 0.
+
+    A single repeatedly-timing-out server is the configuration whose
+    election *provably* succeeds under reliable delivery (see the module
+    docstring) — which is what makes leaderless termination a faithful
+    witness of message loss rather than of schedule-chosen vote
+    splitting."""
+
+    class Armed(State):
+        initial = True
+        entry = "noop"
+        actions = {EFire: "on_fire"}
+
+    def noop(self):
+        pass
+
+    def on_fire(self):
+        servers = self.payload
+        self.send(servers[0], ERaftTimeout())
+
+
+class LossyRaftDriver(Machine):
+    """Boots three correct Raft servers under the fixed-target timer."""
+
+    class Booting(State):
+        initial = True
+        entry = "setup"
+
+    def setup(self):
+        checker = self.create_machine(SafetyChecker)
+        timer = self.create_machine(FixedElectionTimer)
+        servers = []
+        servers.append(self.create_machine(RaftServer))
+        servers.append(self.create_machine(RaftServer))
+        servers.append(self.create_machine(RaftServer))
+        for server in servers:
+            peers = [s for s in servers if s != server]
+            self.send(server, EConfig((peers, checker)))
+        for _i in range(TIMEOUTS):
+            self.send(timer, EFire(servers))
+        self.halt()
+
+
+#: Per-send drop probability (permille-rounded by FaultConfig) and fault
+#: budget for the lossy-network environment.  A quarter of sends dropped,
+#: at most 8 per execution: deep enough to starve an election, bounded
+#: enough that most schedules still terminate quickly.
+RAFT_LOSSY_FAULTS = FaultConfig(drop=0.25, max_faults=8)
+
+
+# ---------------------------------------------------------------------------
+# TwoPhaseCommitCrash: coordinator crash-restart recovery
+# ---------------------------------------------------------------------------
+class RecoverableCoordinator(Coordinator):
+    """A 2PC coordinator that survives crash-restart faults.
+
+    Its durable state (``persistent_fields``) is what a real coordinator
+    would write-ahead-log: the participant/timer/checker wiring, the
+    current transaction number and whether it was decided.  The volatile
+    vote counts are deliberately *not* durable — losing them is exactly
+    the recovery dilemma 2PC's presumed-abort rule resolves.
+
+    On reboot the initial state's entry handler distinguishes first boot
+    (``booted`` unset) from recovery, where it applies **presumed
+    abort**: an undecided in-flight transaction is aborted (always safe
+    — no participant can have applied a commit the coordinator never
+    sent), then the protocol resumes with the next transaction.
+    """
+
+    persistent_fields = (
+        "booted", "checker", "timer", "participants", "txn", "decided",
+    )
+
+    class Booting(State):
+        initial = True
+        entry = "boot_or_recover"
+        transitions = {EStartTxn: "Preparing"}
+        # Stale messages from before the crash (a late vote from a
+        # participant that had not yet processed its prepare, the old
+        # transaction's timeout) must not wedge the rebooting machine.
+        ignored = (EVote, ETimeout)
+
+    def boot_or_recover(self):
+        if not getattr(self, "booted", False):
+            self.booted = True
+            self.setup()
+        elif not self.decided:
+            self.recover_undecided()
+        else:
+            # Crashed between deciding and starting the next round: the
+            # self-posted EStartTxn was volatile (inbox), so re-post it.
+            self.next_txn()
+
+    def recover_undecided(self):
+        self.decide(False)  # presumed abort: always safe
+
+
+class PresumedCommitCoordinator(RecoverableCoordinator):
+    """Recovers with *presumed commit* — the crash-only seeded bug."""
+
+    def recover_undecided(self):
+        # BUG: the votes lost in the crash may have included a NO; the
+        # participant that cast it will assert on applying this commit,
+        # and the atomicity monitor fires at the commit send.
+        self.decide(True)
+
+
+#: Crash probability per scheduling opportunity of the coordinator, with
+#: a budget of 2 crash-restarts per execution.  Only the coordinator
+#: crashes: the seeded bug is in its recovery logic, and restricting the
+#: blast radius keeps executions short.
+TPC_CRASH_FAULTS = FaultConfig(
+    crash=0.10, max_faults=2, crash_classes=(RecoverableCoordinator,),
+)
+
+
+from .registry import Benchmark, Variant, register
+
+register(
+    Benchmark(
+        name="RaftLossy",
+        suite="faults",
+        correct=Variant(
+            machines=[LossyRaftDriver, RaftServer, FixedElectionTimer, SafetyChecker],
+            main=LossyRaftDriver,
+            monitors=(ElectionProgressMonitor,),
+        ),
+        buggy=Variant(
+            machines=[LossyRaftDriver, RaftServer, FixedElectionTimer, SafetyChecker],
+            main=LossyRaftDriver,
+            monitors=(ElectionProgressMonitor,),
+            faults=RAFT_LOSSY_FAULTS,
+        ),
+        bug_kind="liveness",
+        notes="correct Raft; message drops starve leader election",
+    )
+)
+
+register(
+    Benchmark(
+        name="TwoPhaseCommitCrash",
+        suite="faults",
+        correct=Variant(
+            machines=[RecoverableCoordinator, Participant, AtomicityChecker, Timer],
+            main=RecoverableCoordinator,
+            monitors=(AtomicityMonitor,),
+            faults=TPC_CRASH_FAULTS,
+        ),
+        buggy=Variant(
+            machines=[
+                PresumedCommitCoordinator, Participant, AtomicityChecker, Timer,
+            ],
+            main=PresumedCommitCoordinator,
+            monitors=(AtomicityMonitor,),
+            faults=TPC_CRASH_FAULTS,
+        ),
+        notes="presumed-commit recovery after coordinator crash-restart",
+    )
+)

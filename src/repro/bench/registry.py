@@ -40,6 +40,11 @@ class Variant:
     # pass to the engine/runtime ``monitors=`` parameter to test the
     # program against its specifications.
     monitors: Tuple[type, ...] = ()
+    # Default fault-injection config (repro.testing.faults.FaultConfig)
+    # for this variant — fault-enabled benchmarks (suite "faults") carry
+    # the fault environment their seeded bug needs; None everywhere else.
+    # TestConfig.resolved_faults() picks this up for registry targets.
+    faults: Optional[Any] = None
 
 
 @dataclass
@@ -200,6 +205,7 @@ def _ensure_loaded() -> None:
         bounded_async,
         chain_replication,
         chord,
+        fault_variants,
         german,
         multi_paxos,
         process_scheduler,

@@ -59,6 +59,15 @@ class ChessRuntime(BugFindingRuntime):
             # The automatic backend resolution can never pick inline here
             # (see above), so "auto" collapses to the pooled threads.
             kwargs["workers"] = "pool"
+        if kwargs.get("faults") is not None:
+            # CHESS models shared-memory programs: its visible operations
+            # are field accesses, not a network that can drop or a node
+            # that can crash-restart.  Refuse rather than silently ignore.
+            raise ValueError(
+                "ChessRuntime does not support fault injection; faults "
+                "model message loss and machine crashes, which have no "
+                "counterpart in CHESS's shared-memory scheduling"
+            )
         super().__init__(strategy, **kwargs)
         self.race_detection = race_detection
         self.races: List[str] = []

@@ -301,6 +301,12 @@ class Machine:
     # CHESS-style baseline to schedule at memory-access granularity.
     _field_access_hook: Optional[Callable[["Machine", str, bool], None]] = None
 
+    # Fields that survive a fault-injected crash-restart (see
+    # repro.testing.faults): the machine's model of durable storage.
+    # Everything else in __dict__ is volatile memory, wiped when the
+    # tester crash-restarts the machine.
+    persistent_fields: Tuple[str, ...] = ()
+
     # The runtime-internal attributes live in __slots__ for fast access;
     # "__dict__" stays in the layout so user machine subclasses can keep
     # assigning arbitrary fields in their actions.
@@ -314,6 +320,7 @@ class Machine:
         "_halted",
         "_inbox_dirty",
         "_idle_deliverable",
+        "_boot_event",
         "__dict__",
         "__weakref__",
     )
@@ -342,6 +349,10 @@ class Machine:
         # `_inbox_dirty` is set (at idle-entry and on every enqueue).
         self._inbox_dirty = True
         self._idle_deliverable = False
+        # The creation event (set by RuntimeBase._instantiate): a
+        # crash-restart re-enters the initial state with this event, so a
+        # rebooted machine sees its original creation payload.
+        self._boot_event: Optional[Event] = None
         del self._psharp_internal
 
     # ------------------------------------------------------------------

@@ -53,6 +53,9 @@ class RuntimeBase:
         # The payload passed at creation is delivered to the initial
         # state's entry handler, like BaseService.Init in Figure 1.
         machine._current_event = Event(payload)
+        # Kept for the tester's crash-restart faults: a rebooted machine
+        # re-enters its initial state with the original creation payload.
+        machine._boot_event = machine._current_event
         self._machines[mid] = machine
         return machine
 

@@ -1,6 +1,8 @@
 """Systematic concurrency testing for P# programs (Section 6.2)."""
 
+from .checkpoint import load_checkpoint, save_checkpoint
 from .engine import TestingEngine, TestReport, drive, replay
+from .faults import FaultConfig
 from .monitors import EMachineHalted, Monitor, cold, has_hot_states, hot
 from .portfolio import (
     PortfolioEngine,
@@ -33,6 +35,9 @@ from .trace import ScheduleTrace
 __all__ = [
     "TestConfig",
     "Campaign",
+    "FaultConfig",
+    "load_checkpoint",
+    "save_checkpoint",
     "TestingEngine",
     "TestReport",
     "drive",

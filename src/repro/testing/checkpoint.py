@@ -1,0 +1,144 @@
+"""Campaign checkpoint/resume: crash-resilient long-running campaigns.
+
+A portfolio campaign (:func:`repro.testing.portfolio.run_portfolio`) can
+periodically persist its progress — the detached
+:class:`~repro.testing.engine.TestReport` of every *completed* shard plus
+the materialized strategy mix — to a checkpoint file.  If the campaign is
+killed (SIGINT, OOM, machine reboot), ``python -m repro test --resume
+FILE`` (or ``Campaign.portfolio(resume=...)``) restarts it: shards whose
+final reports were checkpointed are not re-run; only the shards that were
+still in flight start over.
+
+Granularity is the *shard* (one strategy spec driven by one worker
+process): a shard's mid-campaign strategy state (DFS frame stacks, RNG
+positions) is deliberately not persisted — resuming re-runs an
+incomplete shard from scratch, which is always sound because shards are
+independent and deterministic per spec.
+
+The checkpoint file is a pickle written atomically (temp file +
+``os.replace``), so a kill mid-write leaves the previous checkpoint
+intact.  A fingerprint of the campaign identity (program spelling,
+budgets, seed) guards against resuming someone else's checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..errors import PSharpError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import TestConfig
+    from .engine import TestReport
+    from .portfolio import StrategySpec
+
+#: Bumped when the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+_REQUIRED_KEYS = ("version", "fingerprint", "specs", "completed")
+
+
+def config_fingerprint(config: "TestConfig") -> str:
+    """A stable digest of the campaign identity a checkpoint belongs to.
+
+    Covers the program spelling and the budget knobs that define what a
+    "completed shard" means — not the strategy mix itself, which is
+    materialized once at campaign start and carried *inside* the
+    checkpoint (the default mix draws fresh random seeds per call, so it
+    must be reused verbatim on resume, not regenerated)."""
+    program = config.program
+    if not isinstance(program, str):
+        program = f"{program.__module__}:{program.__qualname__}"
+    key = repr(
+        (
+            program,
+            config.seed,
+            config.max_iterations,
+            config.max_steps,
+            config.stop_on_first_bug,
+            config.workers,
+            config.faults,
+        )
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+def save_checkpoint(
+    path: "str | os.PathLike",
+    *,
+    fingerprint: str,
+    specs: List["StrategySpec"],
+    completed: Dict[int, "TestReport"],
+) -> None:
+    """Atomically persist campaign progress to ``path``.
+
+    ``completed`` maps shard index -> the shard's final *detached*
+    report.  The write goes through a temp file in the same directory +
+    ``os.replace``, so readers never observe a torn checkpoint."""
+    path = os.fspath(path)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "specs": list(specs),
+        "completed": dict(completed),
+    }
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: "str | os.PathLike") -> Dict[str, Any]:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`PSharpError` with a clear message when the file is
+    missing, truncated, corrupt, or from an incompatible version."""
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            state = pickle.load(fh)
+    except OSError as exc:
+        raise PSharpError(f"cannot read checkpoint file {path!r}: {exc}") from exc
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+            IndexError, ValueError) as exc:
+        raise PSharpError(
+            f"corrupt checkpoint file {path!r}: {exc}"
+        ) from exc
+    if not isinstance(state, dict) or any(k not in state for k in _REQUIRED_KEYS):
+        raise PSharpError(
+            f"corrupt checkpoint file {path!r}: not a campaign checkpoint"
+        )
+    if state["version"] != CHECKPOINT_VERSION:
+        raise PSharpError(
+            f"checkpoint {path!r} has version {state['version']!r}; this "
+            f"build reads version {CHECKPOINT_VERSION}"
+        )
+    return state
+
+
+def verify_checkpoint(
+    state: Dict[str, Any], config: "TestConfig", path: Optional[str] = None
+) -> None:
+    """Refuse to resume a checkpoint recorded for a different campaign."""
+    expected = config_fingerprint(config)
+    if state["fingerprint"] != expected:
+        where = f" {path!r}" if path else ""
+        raise PSharpError(
+            f"checkpoint{where} was recorded for a different campaign "
+            "(program, seed or budgets differ); re-run without --resume "
+            "or point it at the matching checkpoint file"
+        )

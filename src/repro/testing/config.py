@@ -38,6 +38,7 @@ from typing import Any, Callable, Optional, Tuple, Type, Union
 from ..core.machine import Machine
 from ..errors import PSharpError
 from .engine import TestReport, drive, replay
+from .faults import FaultConfig
 from .monitors import Monitor
 from .portfolio import (
     _SEEDED,
@@ -133,6 +134,16 @@ class TestConfig:
     runtime_factory:
         Advanced hook for substitute runtimes (e.g. the CHESS baseline);
         note a non-module-level factory makes the config unpicklable.
+    faults:
+        A :class:`~repro.testing.faults.FaultConfig` arming deterministic
+        fault injection.  ``None`` defers to the registry variant's fault
+        config when the target is a benchmark name (fault-enabled
+        variants like ``RaftLossy`` carry their own); pass an all-zero
+        ``FaultConfig()`` to explicitly disable faults for such targets.
+    iteration_timeout:
+        Per-iteration wall-clock watchdog in seconds: a stuck execution
+        is canceled with status ``"watchdog"`` (counted in
+        ``TestReport.watchdog_hits``) and the campaign continues.
     """
 
     __test__ = False
@@ -154,6 +165,8 @@ class TestConfig:
     portfolio_workers: int = 4
     start_method: Optional[str] = None
     runtime_factory: Optional[Callable[..., Any]] = None
+    faults: Optional[FaultConfig] = None
+    iteration_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not (
@@ -186,6 +199,12 @@ class TestConfig:
             raise PSharpError("max_hot_steps must be >= 1")
         if self.portfolio_workers < 1:
             raise PSharpError("portfolio_workers must be >= 1")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise PSharpError(
+                f"faults must be a FaultConfig (or None), got {self.faults!r}"
+            )
+        if self.iteration_timeout is not None and self.iteration_timeout <= 0:
+            raise PSharpError("iteration_timeout must be positive (or None)")
 
     # ------------------------------------------------------------------
     def with_overrides(self, **overrides: Any) -> "TestConfig":
@@ -206,6 +225,18 @@ class TestConfig:
         payload = self.payload if self.payload is not None else variant.payload
         monitors = self.monitors if self.monitors else tuple(variant.monitors)
         return variant.main, payload, monitors
+
+    def resolved_faults(self) -> Optional[FaultConfig]:
+        """The fault config this campaign actually runs with: the
+        config's own ``faults`` when set (an all-zero ``FaultConfig()``
+        counts as "explicitly disabled"), else the registry variant's
+        default for benchmark targets, else ``None``."""
+        if self.faults is not None:
+            return self.faults
+        from ..bench.registry import resolve_target  # deferred: layer above
+
+        variant = resolve_target(self.program)
+        return getattr(variant, "faults", None)
 
     def strategy_spec(self) -> StrategySpec:
         """The single-strategy campaign's spec with the campaign ``seed``
@@ -283,19 +314,33 @@ class Campaign:
             workers=config.workers,
             monitors=monitors,
             max_hot_steps=config.max_hot_steps,
+            faults=config.resolved_faults(),
+            iteration_timeout=config.iteration_timeout,
         )
         self.last_report = report
         return report
 
-    def portfolio(self, workers: Optional[int] = None) -> TestReport:
+    def portfolio(
+        self,
+        workers: Optional[int] = None,
+        *,
+        checkpoint: Union[str, "os.PathLike", None] = None,
+        resume: Union[str, "os.PathLike", None] = None,
+    ) -> TestReport:
         """Run the sharded multi-process portfolio campaign.
 
         ``workers`` overrides ``config.portfolio_workers`` for the
-        default mix (explicit ``config.specs`` always win)."""
+        default mix (explicit ``config.specs`` always win).
+
+        ``checkpoint`` names a file the campaign periodically persists
+        its progress to (completed shard reports + remaining shards);
+        ``resume`` restarts a killed campaign from such a file, skipping
+        shards whose reports were already checkpointed.  See
+        :mod:`repro.testing.checkpoint`."""
         config = self.config
         if workers is not None:
             config = config.with_overrides(portfolio_workers=workers)
-        report = run_portfolio(config)
+        report = run_portfolio(config, checkpoint=checkpoint, resume=resume)
         self.last_report = report
         return report
 
@@ -331,4 +376,5 @@ class Campaign:
             workers=config.workers,
             monitors=monitors,
             max_hot_steps=config.max_hot_steps,
+            faults=config.resolved_faults(),
         )

@@ -36,6 +36,7 @@ from typing import Any, Callable, List, Optional, Sequence, Type, Union
 from ..core.continuations import InlineCompileError
 from ..core.machine import Machine
 from ..errors import BugReport
+from .faults import FaultConfig
 from .runtime import BugFindingRuntime, ExecutionResult
 from .strategies import ReplayStrategy, SchedulingStrategy
 from .trace import ScheduleTrace
@@ -62,6 +63,9 @@ class TestReport:
     iterations: int = 0
     buggy_iterations: int = 0
     depth_bound_hits: int = 0
+    # Iterations canceled by the per-iteration wall-clock watchdog
+    # (status "watchdog"): the campaign moved on instead of wedging.
+    watchdog_hits: int = 0
     total_steps: int = 0
     total_scheduling_points: int = 0
     max_machines: int = 0
@@ -71,6 +75,10 @@ class TestReport:
     bugs: List[BugReport] = field(default_factory=list)
     exhausted: bool = False
     timed_out: bool = False
+    # True when the campaign was cut short by SIGINT and this report
+    # covers only the work completed before the interrupt (the portfolio
+    # flushes a final checkpoint and returns the partial merge).
+    interrupted: bool = False
     sub_reports: List["TestReport"] = field(default_factory=list)
     # The worker back-end the campaign actually ran on ("inline", "pool",
     # "spawn"), resolved from workers="auto" — how the inline-first
@@ -117,6 +125,7 @@ class TestReport:
         self.iterations += other.iterations
         self.buggy_iterations += other.buggy_iterations
         self.depth_bound_hits += other.depth_bound_hits
+        self.watchdog_hits += other.watchdog_hits
         self.total_steps += other.total_steps
         self.total_scheduling_points += other.total_scheduling_points
         self.max_machines = max(self.max_machines, other.max_machines)
@@ -126,6 +135,7 @@ class TestReport:
             self.first_bug = other.first_bug
             self.first_bug_iteration = other.first_bug_iteration
         self.timed_out = self.timed_out or other.timed_out
+        self.interrupted = self.interrupted or other.interrupted
         if other.effective_backend is not None:
             if self.effective_backend is None:
                 self.effective_backend = other.effective_backend
@@ -153,6 +163,7 @@ class TestReport:
             iterations=self.iterations,
             buggy_iterations=self.buggy_iterations,
             depth_bound_hits=self.depth_bound_hits,
+            watchdog_hits=self.watchdog_hits,
             total_steps=self.total_steps,
             total_scheduling_points=self.total_scheduling_points,
             max_machines=self.max_machines,
@@ -160,6 +171,7 @@ class TestReport:
             first_bug_iteration=self.first_bug_iteration,
             exhausted=self.exhausted,
             timed_out=self.timed_out,
+            interrupted=self.interrupted,
             effective_backend=self.effective_backend,
         )
         clone.bugs = [bug.detached() for bug in self.bugs]
@@ -186,6 +198,8 @@ def drive(
     workers: str = "auto",
     monitors: Sequence[type] = (),
     max_hot_steps: int = 1000,
+    faults: Optional[FaultConfig] = None,
+    iteration_timeout: Optional[float] = None,
 ) -> TestReport:
     """The iteration loop shared by :class:`TestingEngine` and portfolio
     workers: run up to ``max_iterations`` schedules under ``strategy``.
@@ -217,6 +231,12 @@ def drive(
     (:mod:`repro.testing.monitors`) to every execution; ``max_hot_steps``
     is the liveness temperature threshold (see
     :class:`~repro.testing.runtime.BugFindingRuntime`).
+
+    ``faults`` arms deterministic fault injection
+    (:class:`~repro.testing.faults.FaultConfig`); ``iteration_timeout``
+    arms the per-iteration wall-clock watchdog — a stuck execution is
+    canceled with status ``"watchdog"``, counted in
+    ``report.watchdog_hits``, and the campaign continues.
     """
     if deadline is None and time_limit is not None:
         deadline = time.monotonic() + time_limit
@@ -228,7 +248,8 @@ def drive(
             livelock_as_bug=livelock_as_bug, record_traces=record_traces,
             runtime_factory=runtime_factory, deadline=deadline,
             stop_check=stop_check, workers=workers, monitors=monitors,
-            max_hot_steps=max_hot_steps,
+            max_hot_steps=max_hot_steps, faults=faults,
+            iteration_timeout=iteration_timeout,
         )
     except InlineCompileError:
         if workers != "auto":
@@ -246,7 +267,8 @@ def drive(
             livelock_as_bug=livelock_as_bug, record_traces=record_traces,
             runtime_factory=runtime_factory, deadline=deadline,
             stop_check=stop_check, workers="pool", monitors=monitors,
-            max_hot_steps=max_hot_steps,
+            max_hot_steps=max_hot_steps, faults=faults,
+            iteration_timeout=iteration_timeout,
         )
 
 
@@ -266,6 +288,8 @@ def _campaign_loop(
     workers: str,
     monitors: Sequence[type],
     max_hot_steps: int,
+    faults: Optional[FaultConfig],
+    iteration_timeout: Optional[float],
 ) -> TestReport:
     factory = runtime_factory or BugFindingRuntime
     report = TestReport(strategy=strategy.name)
@@ -282,6 +306,8 @@ def _campaign_loop(
             workers=workers,
             monitors=monitors,
             max_hot_steps=max_hot_steps,
+            faults=faults,
+            iteration_timeout=iteration_timeout,
         )
 
     runtime = build_runtime()
@@ -317,6 +343,11 @@ def _campaign_loop(
             report.iterations += 1
             if result.status == "depth-bound":
                 report.depth_bound_hits += 1
+            elif result.status == "watchdog":
+                # The per-iteration watchdog canceled a stuck execution;
+                # count it and keep campaigning — unlike "time-bound",
+                # the campaign budget is not exhausted.
+                report.watchdog_hits += 1
             if result.buggy:
                 assert result.bug is not None
                 result.bug.iteration = iteration
@@ -423,6 +454,7 @@ def replay(
     workers: str = "auto",
     monitors: Sequence[type] = (),
     max_hot_steps: int = 1000,
+    faults: Optional[FaultConfig] = None,
 ) -> ExecutionResult:
     """Deterministically re-execute a recorded schedule.
 
@@ -437,6 +469,13 @@ def replay(
     ``max_hot_steps``) the bug was found with: monitor-detected safety
     and liveness violations reproduce, and the re-recorded trace is
     bit-identical to the original.
+
+    A trace recorded under fault injection must be replayed with the
+    *same* ``faults`` config: the config determines where fault
+    decisions are consulted, and the replay strategy re-fires the
+    recorded outcomes at exactly those points (it never invents faults).
+    Registry variants carry their fault config, so ``Campaign.replay``
+    and the CLI pass it automatically.
     """
     if not isinstance(trace, ScheduleTrace):
         trace = ScheduleTrace.load(trace)
@@ -448,6 +487,7 @@ def replay(
             strategy, max_steps=max_steps, record_trace=True,
             livelock_as_bug=livelock_as_bug, workers=mode,
             monitors=monitors, max_hot_steps=max_hot_steps,
+            faults=faults,
         )
         return runtime.execute(main_cls, payload)
 

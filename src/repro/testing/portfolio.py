@@ -28,17 +28,24 @@ from __future__ import annotations
 
 import ast
 import multiprocessing
+import os
 import queue as queue_module
 import random
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Type
 
 if TYPE_CHECKING:  # circular at runtime: config is the layer above
     from .config import TestConfig
 
 from ..core.machine import Machine
 from ..errors import PSharpError
+from .checkpoint import (
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from .engine import TestReport, drive, replay
 from .runtime import ExecutionResult
 from .strategies import (
@@ -203,8 +210,22 @@ def _portfolio_worker(
     deadline: float,
     cancel: Any,  # multiprocessing.Event
     results: Any,  # multiprocessing.Queue
+    heartbeats: Any = None,  # multiprocessing.Array('d', ...) or None
 ) -> None:
-    """Run one strategy's shard of the campaign; always report back."""
+    """Run one strategy's shard of the campaign; always report back.
+
+    ``heartbeats[index]`` is refreshed from the runtime's stop-check
+    poll, which fires between iterations and inside long executions —
+    a worker whose slot goes stale is wedged (or dead) and the parent
+    may terminate and respawn it."""
+    if heartbeats is not None:
+
+        def stop_check() -> bool:
+            heartbeats[index] = time.monotonic()
+            return cancel.is_set()
+
+    else:
+        stop_check = cancel.is_set
     try:
         strategy = make_strategy(spec)
         report = drive(
@@ -219,10 +240,12 @@ def _portfolio_worker(
             record_traces=config["record_traces"],
             runtime_factory=config["runtime_factory"],
             deadline=deadline,
-            stop_check=cancel.is_set,
+            stop_check=stop_check,
             workers=config["runtime_workers"],
             monitors=config["monitors"],
             max_hot_steps=config["max_hot_steps"],
+            faults=config.get("faults"),
+            iteration_timeout=config.get("iteration_timeout"),
         )
         if config["stop_on_first_bug"] and report.first_bug is not None:
             cancel.set()
@@ -239,8 +262,23 @@ def _portfolio_worker(
 #: flush their final reports before being terminated.
 DEFAULT_GRACE = 10.0
 
+#: how long a worker's heartbeat slot may go unrefreshed before the
+#: parent declares it wedged and puts it down (see _portfolio_worker).
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
 
-def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> TestReport:
+#: how many times a dead/wedged shard is restarted before being abandoned.
+DEFAULT_MAX_RESPAWNS = 2
+
+
+def run_portfolio(
+    config: "TestConfig",
+    *,
+    grace: float = DEFAULT_GRACE,
+    checkpoint: "str | os.PathLike | None" = None,
+    resume: "str | os.PathLike | None" = None,
+    heartbeat_timeout: Optional[float] = DEFAULT_HEARTBEAT_TIMEOUT,
+    max_respawns: int = DEFAULT_MAX_RESPAWNS,
+) -> TestReport:
     """Run a sharded multi-process campaign described by a
     :class:`~repro.testing.config.TestConfig`.
 
@@ -254,13 +292,47 @@ def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> Test
     :func:`~repro.testing.engine.drive` resolves process-locally from
     ``config.workers`` (``"auto"`` gives every worker the inline runtime
     with the pooled fallback).
+
+    The campaign is robust to its own failures:
+
+    * every worker refreshes a shared heartbeat slot; a worker that dies
+      (OOM-kill, segfault) or stops heartbeating for ``heartbeat_timeout``
+      seconds is detected, terminated if needed, and its shard restarted
+      from scratch with exponential backoff — up to ``max_respawns``
+      times, after which the shard is abandoned (an empty report keeps
+      the merge arithmetic honest);
+    * ``checkpoint`` names a file that atomically receives the campaign's
+      progress (the detached report of every completed shard + the
+      materialized strategy mix) after each shard finishes; ``resume``
+      restarts a killed campaign from such a file, re-running only the
+      shards that had not completed (``checkpoint`` defaults to the
+      ``resume`` path so the resumed campaign keeps checkpointing);
+    * Ctrl-C (``KeyboardInterrupt``) degrades gracefully: workers are
+      cancelled, already-finished shards get a short flush window, a
+      final checkpoint is written, and the merged partial report comes
+      back with ``interrupted=True`` instead of a traceback;
+    * every child process ever spawned is terminated and joined on the
+      way out — no leaked children, whatever path exits the loop.
     """
     main_cls, payload, monitors = config.resolve_program()
-    specs = list(config.portfolio_specs())
+    completed: Dict[int, TestReport] = {}
+    if resume is not None:
+        state = load_checkpoint(resume)
+        verify_checkpoint(state, config, os.fspath(resume))
+        # The stored mix, not a regenerated one: the default portfolio
+        # draws fresh seeds per call, so shard indices only line up with
+        # the checkpoint's completed-set against the original specs.
+        specs = list(state["specs"])
+        completed = dict(state["completed"])
+        if checkpoint is None:
+            checkpoint = resume
+    else:
+        specs = list(config.portfolio_specs())
     for spec in specs:
         # Fail fast in the parent: a typo'd strategy name or parameter
         # must raise here, not silently produce an empty worker shard.
         make_strategy(spec)
+    fingerprint = config_fingerprint(config) if checkpoint is not None else None
     start_method = config.start_method
     if start_method is None:
         # fork shares the already-imported program modules with workers;
@@ -271,6 +343,10 @@ def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> Test
     ctx = multiprocessing.get_context(start_method)
     cancel = ctx.Event()
     results = ctx.Queue()
+    # Raw shared doubles, one per shard: each worker stamps its slot with
+    # time.monotonic() from its stop-check poll.  No lock: single-writer
+    # per slot, and a torn read merely mis-times one staleness check.
+    heartbeats = ctx.Array("d", max(1, len(specs)), lock=False)
     deadline = (
         time.monotonic() + config.time_limit
         if config.time_limit is not None
@@ -288,36 +364,55 @@ def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> Test
         "runtime_workers": config.workers,
         "monitors": tuple(monitors),
         "max_hot_steps": config.max_hot_steps,
+        "faults": config.resolved_faults(),
+        "iteration_timeout": config.iteration_timeout,
     }
-    processes = []
+
+    collected: Dict[int, TestReport] = dict(completed)
+    checkpointed: Dict[int, TestReport] = dict(completed)
+    running: Dict[int, Any] = {}
+    all_children: List[Any] = []
+    respawns: Dict[int, int] = {}
+    respawn_at: Dict[int, float] = {}
+    abandoned: Set[int] = set()
+    winner_index: Optional[int] = None
+    interrupted = False
+    hard_stop = deadline + grace
     wall_start = time.perf_counter()
-    for index, spec in enumerate(specs):
+
+    def spawn(index: int) -> None:
+        heartbeats[index] = time.monotonic()
         process = ctx.Process(
             target=_portfolio_worker,
             args=(
-                index, spec, main_cls, payload, worker_config,
-                deadline, cancel, results,
+                index, specs[index], main_cls, payload, worker_config,
+                deadline, cancel, results, heartbeats,
             ),
             daemon=True,
-            name=f"portfolio-{index}-{spec.name}",
+            name=f"portfolio-{index}-{specs[index].name}",
         )
-        processes.append(process)
+        all_children.append(process)
+        running[index] = process
         process.start()
 
-    collected: Dict[int, TestReport] = {}
-    winner_index: Optional[int] = None
-    hard_stop = deadline + grace
-    while len(collected) < len(specs):
-        budget = hard_stop - time.monotonic()
-        if budget <= 0:
-            break
-        try:
-            index, report = results.get(timeout=min(budget, 0.25))
-        except queue_module.Empty:
-            if all(not p.is_alive() for p in processes) and results.empty():
-                break
-            continue
+    def accept(index: int, report: TestReport, *, flush_only: bool = False) -> None:
+        nonlocal winner_index, hard_stop
         collected[index] = report
+        running.pop(index, None)
+        respawn_at.pop(index, None)
+        if not flush_only:
+            # Reports that land after Ctrl-C are partial (the worker was
+            # cancelled mid-shard): merge them into the campaign report,
+            # but never mark them completed in the checkpoint — a resume
+            # must re-run those shards in full.
+            checkpointed[index] = report
+            if checkpoint is not None:
+                save_checkpoint(
+                    checkpoint,
+                    fingerprint=fingerprint,
+                    specs=specs,
+                    completed=checkpointed,
+                )
         if (
             winner_index is None
             and report.first_bug is not None
@@ -329,13 +424,113 @@ def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> Test
             # short flush window instead of the full remaining budget.
             hard_stop = min(hard_stop, time.monotonic() + grace)
 
-    cancel.set()
-    for process in processes:
-        process.join(timeout=1.0)
-    for process in processes:
-        if process.is_alive():
-            process.terminate()
+    # A resumed campaign whose checkpointed shards already hold the bug
+    # is finished: don't re-spawn the incomplete shards just to cancel
+    # them immediately.
+    if config.stop_on_first_bug:
+        for index in sorted(completed):
+            if completed[index].first_bug is not None:
+                winner_index = index
+                break
+
+    try:
+        try:
+            if winner_index is None:
+                for index in range(len(specs)):
+                    if index not in collected:
+                        spawn(index)
+            while len(collected) + len(abandoned) < len(specs):
+                budget = hard_stop - time.monotonic()
+                if budget <= 0:
+                    break
+                # Drain everything queued before judging liveness, so a
+                # worker that reported and exited is never declared dead.
+                drained = False
+                while True:
+                    try:
+                        index, report = results.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    drained = True
+                    accept(index, report)
+                if len(collected) + len(abandoned) >= len(specs):
+                    break
+                now = time.monotonic()
+                for index, process in list(running.items()):
+                    stale = (
+                        heartbeat_timeout is not None
+                        and now - heartbeats[index] > heartbeat_timeout
+                    )
+                    if process.is_alive() and not stale:
+                        continue
+                    if process.is_alive():
+                        # Wedged (stale heartbeat): put it down before
+                        # restarting the shard.
+                        process.terminate()
+                        process.join(timeout=1.0)
+                    running.pop(index)
+                    attempts = respawns.get(index, 0)
+                    if cancel.is_set() or attempts >= max_respawns:
+                        abandoned.add(index)
+                    else:
+                        respawns[index] = attempts + 1
+                        respawn_at[index] = now + 0.5 * (2 ** attempts)
+                for index, due in list(respawn_at.items()):
+                    if cancel.is_set():
+                        respawn_at.pop(index)
+                        abandoned.add(index)
+                    elif now >= due:
+                        respawn_at.pop(index)
+                        spawn(index)
+                if not running and not respawn_at:
+                    # Nothing is executing and nothing is scheduled to —
+                    # no further results can arrive (e.g. a resumed
+                    # checkpoint already held the winning bug).
+                    break
+                if not drained:
+                    try:
+                        index, report = results.get(timeout=min(budget, 0.25))
+                    except queue_module.Empty:
+                        continue
+                    accept(index, report)
+        except KeyboardInterrupt:
+            # Graceful degradation: cancel the fleet, give shards that
+            # already finished a short window to flush their reports,
+            # persist a final checkpoint, and fall through to the merge
+            # with interrupted=True (the CLI maps that to exit 130).
+            interrupted = True
+            cancel.set()
+            flush_stop = time.monotonic() + min(grace, 2.0)
+            while (
+                len(collected) + len(abandoned) < len(specs)
+                and time.monotonic() < flush_stop
+            ):
+                try:
+                    index, report = results.get(timeout=0.1)
+                except (queue_module.Empty, KeyboardInterrupt):
+                    continue
+                accept(index, report, flush_only=True)
+            if checkpoint is not None:
+                save_checkpoint(
+                    checkpoint,
+                    fingerprint=fingerprint,
+                    specs=specs,
+                    completed=checkpointed,
+                )
+    finally:
+        # Leak-proof shutdown: every child ever spawned is terminated and
+        # joined on every exit path (normal, winner, deadline, Ctrl-C,
+        # exception) so no campaign strands worker processes.
+        cancel.set()
+        for process in all_children:
+            if process.is_alive():
+                process.terminate()
+        for process in all_children:
             process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+
     # Late flushes can still land after the loop gave up on a worker.
     while len(collected) < len(specs):
         try:
@@ -358,6 +553,8 @@ def run_portfolio(config: "TestConfig", *, grace: float = DEFAULT_GRACE) -> Test
 
     campaign = TestReport.merged(ordered, strategy="portfolio")
     campaign.elapsed = time.perf_counter() - wall_start
+    if interrupted:
+        campaign.interrupted = True
     if winner_index is not None:
         winning = collected[winner_index]
         campaign.first_bug = winning.first_bug

@@ -75,10 +75,19 @@ from ..errors import (
     PSharpError,
     UnhandledEventError,
 )
+from .faults import (
+    FAULT_CRASH,
+    FAULT_DELAY,
+    FAULT_DROP,
+    FAULT_DUPLICATE,
+    FAULT_NONE,
+    FaultConfig,
+)
 from .monitors import EMachineHalted, Monitor, has_hot_states
 from .strategies import SchedulingStrategy
 from .trace import (
     BOOL_TAG,
+    FAULT_TAG,
     INT_TAG,
     LIVENESS_TAG,
     MONITOR_TAG,
@@ -111,7 +120,7 @@ _DONE = _WorkerState.DONE
 class ExecutionResult:
     """Outcome of a single controlled execution (one schedule)."""
 
-    status: str  # "ok" | "bug" | "depth-bound" | "time-bound" | "stopped"
+    status: str  # "ok" | "bug" | "depth-bound" | "time-bound" | "stopped" | "watchdog"
     steps: int
     scheduling_points: int
     trace: Optional[ScheduleTrace]
@@ -366,6 +375,21 @@ class BugFindingRuntime(RuntimeBase):
         terminates is reported regardless of the strategy's fairness.
         When liveness monitors are attached they are authoritative: the
         legacy ``livelock_as_bug`` depth-bound heuristic is suppressed.
+    faults:
+        A :class:`~repro.testing.faults.FaultConfig` arming deterministic
+        fault injection (message drop/duplicate/delay, machine
+        crash-restart).  Every injected fault is a strategy decision
+        recorded in the trace under the ``"fault"`` kind, so faulty
+        executions replay bit-identically on every back-end.  ``None``
+        (the default) explores failure-free executions only.
+    iteration_timeout:
+        Per-execution wall-clock watchdog, in seconds: an execution that
+        runs longer is canceled with status ``"watchdog"`` instead of
+        wedging its campaign slot.  Checked at the same polling cadence
+        as ``deadline``, so a handler stuck in native code without
+        scheduling steps cannot be interrupted — the watchdog targets
+        runaway step churn (livelock-shaped iterations with generous
+        ``max_steps``).
     """
 
     # How many scheduling steps between deadline/stop_check polls: the
@@ -388,12 +412,20 @@ class BugFindingRuntime(RuntimeBase):
         pool: Optional[WorkerPool] = None,
         monitors: Sequence[Type[Monitor]] = (),
         max_hot_steps: int = 1000,
+        faults: Optional[FaultConfig] = None,
+        iteration_timeout: Optional[float] = None,
     ) -> None:
         super().__init__()
         if workers not in ("auto", "inline", "pool", "spawn"):
             raise ValueError(
                 "workers must be 'auto', 'inline', 'pool' or 'spawn', "
                 f"got {workers!r}"
+            )
+        if faults is not None and not isinstance(faults, FaultConfig):
+            raise ValueError(f"faults must be a FaultConfig, got {faults!r}")
+        if iteration_timeout is not None and iteration_timeout <= 0:
+            raise ValueError(
+                f"iteration_timeout must be positive, got {iteration_timeout!r}"
             )
         for monitor_cls in monitors:
             if not (isinstance(monitor_cls, type) and issubclass(monitor_cls, Monitor)):
@@ -414,6 +446,21 @@ class BugFindingRuntime(RuntimeBase):
         self.effective_workers = workers if workers != "auto" else "pool"
         self.monitors: Tuple[Type[Monitor], ...] = tuple(monitors)
         self.max_hot_steps = max_hot_steps
+        self.faults = faults
+        self.iteration_timeout = iteration_timeout
+        # Fault weights quantized once (the config is frozen); zeros when
+        # fault injection is off, so the armed flags reset() derives from
+        # them keep the hot paths on their fault-free branch.
+        if faults is not None and faults.enabled:
+            self._msg_weights = faults.message_weights
+            self._crash_weight = faults.crash_weight
+            self._crash_classes = faults.crash_classes
+            self._fault_budget = faults.max_faults
+        else:
+            self._msg_weights = (0, 0, 0)
+            self._crash_weight = 0
+            self._crash_classes = ()
+            self._fault_budget = 0
         self._has_liveness_monitors = any(has_hot_states(m) for m in self.monitors)
         self._pool = pool if pool is not None else _shared_pool
         self._hook_visible = (
@@ -469,7 +516,21 @@ class BugFindingRuntime(RuntimeBase):
         self._sched_points = 0
         self._steps = 0
         self._current: Optional[MachineId] = None
-        self._poll = self.deadline is not None or self.stop_check is not None
+        # Per-iteration watchdog deadline, armed by execute().
+        self._iter_deadline: Optional[float] = None
+        self._poll = (
+            self.deadline is not None
+            or self.stop_check is not None
+            or self.iteration_timeout is not None
+        )
+        # Fault-injection state: fired-fault count, armed flags (cleared
+        # when the budget runs out, stopping all further consultation),
+        # and the replay probe that re-fires recorded outcomes instead of
+        # consulting probabilities.
+        self._faults_injected = 0
+        self._send_fault_active = any(self._msg_weights) and self._fault_budget > 0
+        self._crash_fault_active = self._crash_weight > 0 and self._fault_budget > 0
+        self._fault_probe = getattr(self.strategy, "next_fault_outcome", None)
         # Pooled-worker bookkeeping.
         self._bound: List[_PoolWorker] = []
         self._live = 0
@@ -555,6 +616,8 @@ class BugFindingRuntime(RuntimeBase):
             # (the _done lock, pooled bookkeeping) is back-end specific.
             self.effective_workers = self.resolve_workers(main_cls)
         self.reset()
+        if self.iteration_timeout is not None:
+            self._iter_deadline = time.monotonic() + self.iteration_timeout
         trace = ScheduleTrace() if self.record_trace else None
         self._trace = trace
         mid = self._spawn(main_cls, payload)
@@ -622,10 +685,15 @@ class BugFindingRuntime(RuntimeBase):
                 self._deliver_to_monitors(observers, event)
         machine = self._machines.get(target)
         if machine is not None and not machine._halted:
-            machine._inbox.append(event)
-            machine._inbox_dirty = True
-            if self._hook_visible:
-                self.on_visible_operation(machine, "enqueue")
+            # Message-fault consultation point (kept in sync with the
+            # inlined OP_SEND blocks of _inline_body/_inline_drive).
+            if self._send_fault_active and (fault := self._consult_send_fault()):
+                self._apply_send_fault(machine, event, fault)
+            else:
+                machine._inbox.append(event)
+                machine._inbox_dirty = True
+                if self._hook_visible:
+                    self.on_visible_operation(machine, "enqueue")
         if sender is not None:
             self._schedule(sender.id)
 
@@ -644,6 +712,109 @@ class BugFindingRuntime(RuntimeBase):
         if self._trace is not None:
             self._trace.append(INT_TAG, value)
         return value
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.testing.faults)
+    # ------------------------------------------------------------------
+    def _consult_send_fault(self) -> int:
+        """One message-fault consultation: decide (via the strategy) and
+        record the fault outcome for the send being performed.
+
+        Called only while send faults are armed and budget remains.  The
+        outcome — including "no fault" — is appended to the trace under
+        the ``"fault"`` kind, so replay re-fires exactly the recorded
+        faults: consultation points are positionally aligned because the
+        replaying runtime runs with the same :class:`FaultConfig`.
+        """
+        probe = self._fault_probe
+        if probe is not None:
+            outcome = probe()
+            if outcome == FAULT_CRASH:
+                # A crash outcome cannot apply to a send: the replayed
+                # schedule diverged, fall back to fault-free delivery.
+                outcome = FAULT_NONE
+        else:
+            drop_w, dup_w, delay_w = self._msg_weights
+            pick_fault = self.strategy.pick_fault
+            if drop_w and pick_fault(drop_w):
+                outcome = FAULT_DROP
+            elif dup_w and pick_fault(dup_w):
+                outcome = FAULT_DUPLICATE
+            elif delay_w and pick_fault(delay_w):
+                outcome = FAULT_DELAY
+            else:
+                outcome = FAULT_NONE
+        if self._trace is not None:
+            self._trace.append(FAULT_TAG, outcome)
+        if outcome != FAULT_NONE:
+            self._faults_injected += 1
+            if self._faults_injected >= self._fault_budget:
+                self._send_fault_active = False
+                self._crash_fault_active = False
+        return outcome
+
+    def _apply_send_fault(self, target: Machine, event: Event, outcome: int) -> None:
+        """Deliver ``event`` to ``target`` under a non-trivial fault
+        outcome.  Drop loses the message entirely; duplicate enqueues it
+        twice; delay makes it overtake the previously queued message
+        (pairwise reordering — a no-op on an empty inbox)."""
+        if outcome == FAULT_DROP:
+            return
+        inbox = target._inbox
+        if outcome == FAULT_DUPLICATE:
+            inbox.append(event)
+            inbox.append(event)
+        else:  # FAULT_DELAY
+            if inbox:
+                inbox.insert(len(inbox) - 1, event)
+            else:
+                inbox.append(event)
+        target._inbox_dirty = True
+        if self._hook_visible:
+            self.on_visible_operation(target, "enqueue")
+
+    def _consult_crash_fault(self) -> bool:
+        """One crash-fault consultation for the machine about to take its
+        next step.  Returns True when the machine should crash-restart
+        now; the outcome is recorded like every other fault decision."""
+        probe = self._fault_probe
+        if probe is not None:
+            fire = probe() == FAULT_CRASH
+        else:
+            fire = self.strategy.pick_fault(self._crash_weight)
+        if self._trace is not None:
+            self._trace.append(FAULT_TAG, FAULT_CRASH if fire else FAULT_NONE)
+        if fire:
+            self._faults_injected += 1
+            if self._faults_injected >= self._fault_budget:
+                self._send_fault_active = False
+                self._crash_fault_active = False
+        return fire
+
+    def _crash_restart(self, machine: Machine) -> None:
+        """Crash ``machine`` in place: wipe its volatile state (fields,
+        inbox, raised event, current state) and reposition it at its
+        initial state with its original creation payload, as if the node
+        rebooted.  Fields named in the class's ``persistent_fields``
+        survive when the fault config models durable storage
+        (``persistent_state=True``).  The caller re-enters the initial
+        state through the back-end-appropriate start path."""
+        saved = None
+        faults = self.faults
+        if faults is not None and faults.persistent_state:
+            fields = type(machine).persistent_fields
+            if fields:
+                values = machine.__dict__
+                saved = [(name, values[name]) for name in fields if name in values]
+        machine.__dict__.clear()
+        machine._inbox.clear()
+        machine._raised = None
+        machine._current_state = None
+        machine._current_event = machine._boot_event
+        machine._inbox_dirty = True
+        machine._idle_deliverable = False
+        if saved:
+            machine.__dict__.update(saved)
 
     def on_machine_halted(self, machine: Machine) -> None:
         worker = self._workers.get(machine.id)
@@ -844,7 +1015,22 @@ class BugFindingRuntime(RuntimeBase):
             hook_visible = self._hook_visible
             poll = self._poll
             max_steps = self.max_steps
+            crash_eligible = self._crash_weight > 0 and (
+                not self._crash_classes
+                or isinstance(machine, self._crash_classes)
+            )
             while not machine._halted:
+                # Crash-fault consultation point, between steps so every
+                # handler stays atomic with respect to its own crash
+                # (kept in sync with _inline_body).
+                if (
+                    crash_eligible
+                    and self._crash_fault_active
+                    and self._consult_crash_fault()
+                ):
+                    self._crash_restart(machine)
+                    machine._start()
+                    continue
                 # Fast path of _count_step (kept in sync with the inline
                 # body): bump the counter, fall back to the real method
                 # whenever any of its checks could fire.
@@ -998,7 +1184,22 @@ class BugFindingRuntime(RuntimeBase):
         mid_value = mid.value
         poll = self._poll
         max_steps = self.max_steps
+        crash_eligible = self._crash_weight > 0 and (
+            not self._crash_classes or isinstance(machine, self._crash_classes)
+        )
         while not machine._halted:
+            # Crash-fault consultation point, between steps (kept in sync
+            # with _worker_body).
+            if (
+                crash_eligible
+                and self._crash_fault_active
+                and self._consult_crash_fault()
+            ):
+                self._crash_restart(machine)
+                outcome = machine._start_inline()
+                if outcome is not True:
+                    yield from self._inline_drive(worker, outcome)
+                continue
             # Fast path of _count_step: bump the counter and fall back to
             # the real method whenever any of its checks could fire.
             steps = self._steps + 1
@@ -1043,10 +1244,21 @@ class BugFindingRuntime(RuntimeBase):
                                         self._deliver_to_monitors(observers, event)
                                 target = machines_get(op[1])
                                 if target is not None and not target._halted:
-                                    target._inbox.append(event)
-                                    target._inbox_dirty = True
-                                    if hook_visible:
-                                        self.on_visible_operation(target, "enqueue")
+                                    # Message-fault consultation point
+                                    # (kept in sync with send()).
+                                    if self._send_fault_active and (
+                                        fault := self._consult_send_fault()
+                                    ):
+                                        self._apply_send_fault(
+                                            target, event, fault
+                                        )
+                                    else:
+                                        target._inbox.append(event)
+                                        target._inbox_dirty = True
+                                        if hook_visible:
+                                            self.on_visible_operation(
+                                                target, "enqueue"
+                                            )
                             else:  # OP_CREATE
                                 value = self._spawn(op[1], op[2])
                             if self._canceled:
@@ -1171,10 +1383,17 @@ class BugFindingRuntime(RuntimeBase):
                                 self._deliver_to_monitors(observers, event)
                         machine = machines_get(op[1])
                         if machine is not None and not machine._halted:
-                            machine._inbox.append(event)
-                            machine._inbox_dirty = True
-                            if hook_visible:
-                                self.on_visible_operation(machine, "enqueue")
+                            # Message-fault consultation point (kept in
+                            # sync with send()).
+                            if self._send_fault_active and (
+                                fault := self._consult_send_fault()
+                            ):
+                                self._apply_send_fault(machine, event, fault)
+                            else:
+                                machine._inbox.append(event)
+                                machine._inbox_dirty = True
+                                if hook_visible:
+                                    self.on_visible_operation(machine, "enqueue")
                     else:  # OP_CREATE
                         value = self._spawn(op[1], op[2])
                     # The scheduling point (mirrors _schedule).
@@ -1355,6 +1574,15 @@ class BugFindingRuntime(RuntimeBase):
                 raise ExecutionCanceled()
             if self.stop_check is not None and self.stop_check():
                 self._finish("stopped")
+                raise ExecutionCanceled()
+            if (
+                self._iter_deadline is not None
+                and time.monotonic() >= self._iter_deadline
+            ):
+                # Per-iteration watchdog: this execution is stuck; cancel
+                # it (status "watchdog") so the campaign moves on instead
+                # of wedging its slot.
+                self._finish("watchdog")
                 raise ExecutionCanceled()
         if steps > self.max_steps:
             # The depth-bound heuristic only means "potential livelock"

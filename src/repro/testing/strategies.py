@@ -14,7 +14,8 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
 from ..core.events import MachineId
-from .trace import BOOL, INT, LIVENESS, MONITOR, SCHED, ScheduleTrace
+from .faults import FAULT_SCALE
+from .trace import BOOL, FAULT, INT, LIVENESS, MONITOR, SCHED, ScheduleTrace
 
 
 class SchedulingStrategy(ABC):
@@ -58,6 +59,20 @@ class SchedulingStrategy(ABC):
         Branching-only strategies (DFS, random) need not care, since a
         one-option node never branches.
         """
+
+    def pick_fault(self, weight: int) -> bool:
+        """Decide whether a candidate fault fires at this consultation
+        point.  ``weight`` is an integer permille probability in
+        ``[0, FAULT_SCALE]`` (see :mod:`repro.testing.faults`).
+
+        The default draws through :meth:`pick_int`, which is correct for
+        every randomized strategy (one seeded RNG consumption per
+        consult, reproducible per seed).  Systematic strategies override
+        this — a fault is a two-way branch, not a ``FAULT_SCALE``-way
+        one.  The runtime, not the strategy, records the resulting fault
+        outcome in the trace.
+        """
+        return weight > 0 and self.pick_int(FAULT_SCALE) < weight
 
     def is_fair(self) -> bool:
         """Whether long executions remain meaningful under this strategy."""
@@ -163,6 +178,13 @@ class DfsStrategy(SchedulingStrategy):
     def pick_int(self, bound: int) -> int:
         return self._choose(bound)
 
+    def pick_fault(self, weight: int) -> bool:
+        # Systematic exploration ignores the probability: a fault point is
+        # a two-way branch, and the fault-free branch (index 0) is
+        # explored first so the failure-free schedule space is covered
+        # before failures are layered in.
+        return weight > 0 and bool(self._choose(2))
+
 
 class IterativeDeepeningDfsStrategy(SchedulingStrategy):
     """Iterative-deepening DFS: restart the systematic search with a
@@ -211,6 +233,9 @@ class IterativeDeepeningDfsStrategy(SchedulingStrategy):
 
     def pick_int(self, bound: int) -> int:
         return self._dfs.pick_int(bound)
+
+    def pick_fault(self, weight: int) -> bool:
+        return self._dfs.pick_fault(weight)
 
 
 class RandomStrategy(SchedulingStrategy):
@@ -401,6 +426,19 @@ class ReplayStrategy(SchedulingStrategy):
         if value is None or value >= bound:
             return 0
         return value
+
+    def pick_fault(self, weight: int) -> bool:
+        """Replay never *invents* faults; recorded fault outcomes are
+        re-fired via :meth:`next_fault_outcome` instead, so a direct
+        probability consult always declines."""
+        return False
+
+    def next_fault_outcome(self) -> int:
+        """Consume the next recorded fault decision and return its
+        outcome code (0 when the trace is exhausted or diverged — replay
+        falls back to the fault-free behavior rather than guessing)."""
+        value = self._next(FAULT)
+        return value if value is not None else 0
 
     def is_fair(self) -> bool:
         """Replay preserves the recorded schedule exactly, so liveness

@@ -23,6 +23,8 @@ import os
 from array import array
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from ..errors import PSharpError
+
 SCHED = "sched"
 BOOL = "bool"
 INT = "int"
@@ -37,6 +39,12 @@ MONITOR = "monitor"
 # its absence proves the recorded run survived its hot stretches, so
 # replay defers to the recorded schedule instead of racing it.
 LIVENESS = "liveness"
+# An injected-fault decision (value: the fault outcome code from
+# :mod:`repro.testing.faults` — 0 none, 1 drop, 2 duplicate, 3 delay,
+# 4 crash).  One entry per fault consultation point, so faulty executions
+# replay bit-identically: ReplayStrategy re-fires exactly the recorded
+# outcomes and never invents new faults.
+FAULT = "fault"
 
 # Compact kind tags used in the flat encoding; the string kinds above
 # remain the public vocabulary (and the wire format).
@@ -45,6 +53,7 @@ BOOL_TAG = 1
 INT_TAG = 2
 MONITOR_TAG = 3
 LIVENESS_TAG = 4
+FAULT_TAG = 5
 
 _TAG_OF = {
     SCHED: SCHED_TAG,
@@ -52,8 +61,9 @@ _TAG_OF = {
     INT: INT_TAG,
     MONITOR: MONITOR_TAG,
     LIVENESS: LIVENESS_TAG,
+    FAULT: FAULT_TAG,
 }
-_KIND_OF = (SCHED, BOOL, INT, MONITOR, LIVENESS)
+_KIND_OF = (SCHED, BOOL, INT, MONITOR, LIVENESS, FAULT)
 
 Decision = Tuple[str, int]
 
@@ -128,7 +138,19 @@ class ScheduleTrace:
 
     @classmethod
     def from_json(cls, text: str) -> "ScheduleTrace":
-        return cls([(kind, value) for kind, value in json.loads(text)])
+        """Parse the wire format, raising :class:`PSharpError` on garbage.
+
+        Truncated downloads, half-written files and hand-edited traces
+        all surface as one clear error instead of a raw
+        ``JSONDecodeError``/``KeyError`` traceback."""
+        try:
+            decisions = json.loads(text)
+            return cls([(kind, value) for kind, value in decisions])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OverflowError) as exc:
+            raise PSharpError(
+                f"corrupt schedule trace: {exc} (expected a JSON list of "
+                f"[kind, value] pairs as written by ScheduleTrace.save)"
+            ) from exc
 
     def save(self, path: "str | os.PathLike") -> None:
         """Write the trace to ``path`` in the ``to_json`` wire format.
@@ -143,9 +165,14 @@ class ScheduleTrace:
     @classmethod
     def load(cls, path: "str | os.PathLike") -> "ScheduleTrace":
         """Read a trace previously written by :meth:`save` (or any file in
-        the ``to_json`` wire format)."""
-        with open(os.fspath(path), "r", encoding="utf-8") as fh:
-            return cls.from_json(fh.read())
+        the ``to_json`` wire format).  Raises :class:`PSharpError` if the
+        file is unreadable or corrupt."""
+        try:
+            with open(os.fspath(path), "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise PSharpError(f"cannot read trace file {path!r}: {exc}") from exc
+        return cls.from_json(text)
 
     def __str__(self) -> str:
         parts = []
@@ -158,6 +185,8 @@ class ScheduleTrace:
                 parts.append(f"obs{value}")
             elif tag == LIVENESS_TAG:
                 parts.append(f"hot!{value}")
+            elif tag == FAULT_TAG:
+                parts.append(f"x{value}")
             else:
                 parts.append(f"i{value}")
         return " ".join(parts)

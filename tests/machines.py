@@ -130,3 +130,47 @@ class SelfLoop(Machine):
 
     def again(self):
         self.send(self.id, EPing())
+
+
+class EBump(Event):
+    pass
+
+
+class CrashCounter(Machine):
+    """Crash-restart fixture: ``persisted`` is durable, ``volatile`` is not.
+
+    Both count the same EBump deliveries, so after a crash-restart with
+    ``persistent_state=True`` the two counters diverge (volatile resets),
+    while with ``persistent_state=False`` they stay equal forever."""
+
+    persistent_fields = ("persisted",)
+
+    class Counting(State):
+        initial = True
+        entry = "boot"
+        actions = {EBump: "on_bump"}
+
+    def boot(self):
+        if not hasattr(self, "persisted"):
+            self.persisted = 0
+        self.volatile = 0
+
+    def on_bump(self):
+        self.persisted += 1
+        self.volatile += 1
+
+
+class CrashDriver(Machine):
+    """Boots a CrashCounter and feeds it a few bumps."""
+
+    bumps = 3
+
+    class Init(State):
+        initial = True
+        entry = "go"
+
+    def go(self):
+        counter = self.create_machine(CrashCounter)
+        for _i in range(self.bumps):
+            self.send(counter, EBump())
+        self.halt()

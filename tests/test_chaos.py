@@ -1,0 +1,257 @@
+"""Campaign self-robustness: the tester must survive its own failures.
+
+A campaign that hunts crash bugs in distributed protocols cannot itself
+fall over when a worker process dies.  These tests kill workers with
+SIGKILL mid-campaign, wedge executions past the watchdog, interrupt the
+CLI with SIGINT, and hand the resume path corrupt checkpoints — and
+assert the campaign still produces a complete (or honestly partial)
+merged report, leaks no child processes, and never re-runs work a
+checkpoint already persisted.
+"""
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import PSharpError, StrategySpec, TestConfig
+from repro.testing.checkpoint import (
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.testing.config import Campaign
+from repro.testing.portfolio import run_portfolio
+
+from .machines import Ping, SelfLoop
+
+ROOT = Path(__file__).resolve().parents[1]
+
+TWO_SHARDS = (
+    StrategySpec("random", {"seed": 1}),
+    StrategySpec("random", {"seed": 2}),
+)
+
+
+def _drain_children(timeout=5.0):
+    """Wait for any straggler child processes; return the survivors."""
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return multiprocessing.active_children()
+
+
+class TestWorkerCrashResilience:
+    def test_sigkilled_worker_is_respawned_and_report_completes(self):
+        # A no-bug target with an iteration budget far beyond the time
+        # limit, so both workers are guaranteed to still be running when
+        # the killer thread strikes.
+        config = TestConfig(
+            program=Ping,
+            specs=TWO_SHARDS,
+            max_iterations=10_000_000,
+            time_limit=4.0,
+            max_steps=2_000,
+        )
+        killed = []
+
+        def kill_one_worker():
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                children = multiprocessing.active_children()
+                if children:
+                    time.sleep(0.3)  # let it get some real work done
+                    victim = multiprocessing.active_children()
+                    if victim:
+                        os.kill(victim[0].pid, signal.SIGKILL)
+                        killed.append(victim[0].pid)
+                    return
+                time.sleep(0.02)
+
+        killer = threading.Thread(target=kill_one_worker)
+        killer.start()
+        try:
+            report = run_portfolio(config)
+        finally:
+            killer.join()
+
+        assert killed, "killer thread never saw a worker process"
+        # The merged report still covers every shard: the murdered
+        # worker was respawned and its replacement reported.
+        assert len(report.sub_reports) == len(TWO_SHARDS)
+        for sub in report.sub_reports:
+            assert sub.iterations > 0, sub
+        assert not report.bug_found
+        # Satellite guarantee: no child processes leak past the campaign.
+        assert _drain_children() == []
+
+    def test_clean_portfolio_leaks_no_children(self):
+        config = TestConfig(
+            program=Ping,
+            specs=TWO_SHARDS,
+            max_iterations=100,
+            time_limit=30.0,
+            max_steps=2_000,
+        )
+        report = run_portfolio(config)
+        assert len(report.sub_reports) == len(TWO_SHARDS)
+        assert _drain_children() == []
+
+
+class TestIterationWatchdog:
+    def test_wedged_iterations_are_canceled_and_counted(self):
+        # SelfLoop never quiesces; with an effectively unbounded depth
+        # bound only the wall-clock watchdog can end an iteration.
+        config = TestConfig(
+            program=SelfLoop,
+            strategy="random,seed=0",
+            max_iterations=2,
+            max_steps=10_000_000,
+            iteration_timeout=0.3,
+            time_limit=60.0,
+        )
+        report = Campaign(config).run()
+        assert report.watchdog_hits == 2
+        assert report.iterations == 2
+        assert not report.bug_found
+
+
+class TestCheckpointResume:
+    def _config(self):
+        return TestConfig(
+            program=Ping,
+            specs=TWO_SHARDS,
+            max_iterations=100,
+            time_limit=30.0,
+            max_steps=2_000,
+        )
+
+    def test_completed_campaign_writes_checkpoint(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        report = Campaign(self._config()).portfolio(checkpoint=path)
+        assert len(report.sub_reports) == len(TWO_SHARDS)
+        state = load_checkpoint(path)
+        assert sorted(state["completed"]) == [0, 1]
+        assert state["fingerprint"] == config_fingerprint(self._config())
+
+    def test_resume_skips_completed_shards(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        config = self._config()
+        Campaign(config).portfolio(checkpoint=path)
+
+        # Rewrite the checkpoint as if the campaign had been killed
+        # after shard 0: plant a sentinel iteration count there (a
+        # re-run could never produce it) and drop shard 1.
+        state = load_checkpoint(path)
+        state["completed"][0].iterations = 123_456
+        del state["completed"][1]
+        save_checkpoint(
+            path,
+            fingerprint=state["fingerprint"],
+            specs=state["specs"],
+            completed=state["completed"],
+        )
+
+        report = run_portfolio(config, resume=path)
+        assert len(report.sub_reports) == len(TWO_SHARDS)
+        # Shard 0 came straight from the checkpoint, untouched.
+        assert report.sub_reports[0].iterations == 123_456
+        # Shard 1 was actually (re-)run.
+        assert 0 < report.sub_reports[1].iterations <= 100
+        assert report.iterations == 123_456 + report.sub_reports[1].iterations
+        # And the re-run shard was checkpointed on completion.
+        assert sorted(load_checkpoint(path)["completed"]) == [0, 1]
+
+    def test_fully_resumed_campaign_runs_nothing(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        config = self._config()
+        first = Campaign(config).portfolio(checkpoint=path)
+        before = multiprocessing.active_children()
+        resumed = run_portfolio(config, resume=path)
+        assert resumed.iterations == first.iterations
+        assert len(resumed.sub_reports) == len(TWO_SHARDS)
+        assert multiprocessing.active_children() == before
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(PSharpError, match="cannot read checkpoint"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(PSharpError, match="corrupt checkpoint"):
+            load_checkpoint(path)
+        truncated = tmp_path / "truncated.ckpt"
+        good = tmp_path / "good.ckpt"
+        save_checkpoint(
+            good,
+            fingerprint="f",
+            specs=list(TWO_SHARDS),
+            completed={},
+        )
+        truncated.write_bytes(good.read_bytes()[:-7])
+        with pytest.raises(PSharpError, match="corrupt checkpoint"):
+            load_checkpoint(truncated)
+
+    def test_resume_rejects_checkpoint_from_other_campaign(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        Campaign(self._config()).portfolio(checkpoint=path)
+        other = self._config().with_overrides(max_iterations=999)
+        with pytest.raises(PSharpError, match="different campaign"):
+            run_portfolio(other, resume=path)
+
+
+def run_cli_process(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+class TestGracefulInterrupt:
+    def test_sigint_flushes_checkpoint_and_exits_130(self, tmp_path):
+        ckpt = tmp_path / "interrupted.ckpt"
+        proc = run_cli_process(
+            "test", "tests.machines:Ping",
+            "--portfolio", "2",
+            "--max-iterations", "10000000",
+            "--time-limit", "60",
+            "--checkpoint", str(ckpt),
+        )
+        try:
+            time.sleep(2.5)  # let the campaign spin up its workers
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, stdout + stderr
+        assert "campaign interrupted (partial results)" in stdout
+        # The final flush persisted a (possibly empty) resumable state.
+        state = load_checkpoint(ckpt)
+        assert state["fingerprint"]
+
+    def test_corrupt_resume_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"garbage")
+        proc = run_cli_process(
+            "test", "tests.machines:Ping", "--resume", str(bad),
+        )
+        stdout, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 2, stdout + stderr
+        assert "corrupt checkpoint" in stderr
