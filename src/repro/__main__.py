@@ -25,6 +25,13 @@ Subcommands
 ``bench --list``
     Print the benchmark registry (suites, variants, monitors).
 
+``report FILE``
+    Render a saved campaign report (``test --coverage-report FILE``) or
+    a crash checkpoint (``test --checkpoint FILE``): the summary, the
+    activity-coverage table naming every declared-but-unvisited state
+    and transition, telemetry, ``--json`` for machines, ``--dot FILE``
+    for a Graphviz view of the explored state space.
+
 Exit status: 0 on success, 1 when ``--expect-bug`` was passed and no bug
 was found (or a replay reproduced none), 2 on configuration errors (a
 corrupt trace or checkpoint file included), 130 when a campaign was
@@ -170,6 +177,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(test)
     _add_fault_arguments(test)
+    observability = test.add_argument_group(
+        "observability",
+        "see what the campaign explored, not just what it found",
+    )
+    observability.add_argument(
+        "--coverage", action="store_true",
+        help="collect activity coverage (states entered, transitions "
+        "taken, events sent/dequeued) and print the coverage table",
+    )
+    observability.add_argument(
+        "--coverage-report", metavar="FILE",
+        help="save the full campaign report (coverage + telemetry "
+        "included) to FILE for 'python -m repro report' (implies "
+        "--coverage)",
+    )
+    observability.add_argument(
+        "--events", metavar="FILE",
+        help="append a JSONL event stream (campaign/shard/iteration "
+        "spans, watchdog hits, worker supervision) to FILE",
+    )
     test.add_argument(
         "--save-trace", metavar="FILE",
         help="write the first found bug's schedule trace to FILE",
@@ -197,6 +224,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="inspect the benchmark registry")
     bench.add_argument(
         "--list", action="store_true", help="list all registered benchmarks"
+    )
+
+    report = sub.add_parser(
+        "report", help="render a saved campaign report or checkpoint"
+    )
+    report.add_argument(
+        "file",
+        help="report file from 'test --coverage-report' or a campaign "
+        "checkpoint from 'test --checkpoint'",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report as JSON on stdout",
+    )
+    report.add_argument(
+        "--dot", metavar="FILE",
+        help="write a Graphviz digraph of the explored state space to "
+        "FILE ('-' for stdout)",
     )
     return parser
 
@@ -252,6 +297,8 @@ def _cmd_test(args: argparse.Namespace) -> int:
         portfolio_workers=args.portfolio if args.portfolio is not None else 4,
         faults=_fault_config_from_args(args),
         iteration_timeout=args.iteration_timeout,
+        coverage=args.coverage or args.coverage_report is not None,
+        events_path=args.events,
     )
     if portfolio and len(specs) == 1 and args.portfolio is None:
         # --checkpoint/--resume with one --strategy: that one spec is the
@@ -265,6 +312,16 @@ def _cmd_test(args: argparse.Namespace) -> int:
     )
     for line in _report_lines(report):
         print(line)
+    if report.coverage is not None:
+        from .testing.reporting import coverage_table
+
+        for line in coverage_table(report.coverage):
+            print(line)
+    if args.coverage_report:
+        from .testing.reporting import save_report
+
+        save_report(args.coverage_report, report)
+        print(f"campaign report saved to {args.coverage_report}")
     if args.save_trace:
         bug = report.first_bug
         if bug is None or bug.trace is None:
@@ -330,12 +387,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .testing.reporting import (
+        coverage_table,
+        coverage_dot,
+        load_campaign,
+        report_json,
+    )
+
+    report = load_campaign(args.file)
+    if args.json:
+        print(json_module.dumps(report_json(report), indent=2, sort_keys=True))
+    elif args.dot == "-":
+        pass  # stdout carries only the digraph, pipeable into `dot -Tsvg`
+    else:
+        for line in _report_lines(report):
+            print(line)
+        if report.coverage is not None:
+            for line in coverage_table(report.coverage):
+                print(line)
+        else:
+            print("no activity coverage recorded (run test with --coverage)")
+        if report.telemetry is not None:
+            for line in report.telemetry.summary_lines():
+                print(line)
+    if args.dot:
+        if report.coverage is None:
+            print(
+                "error: no coverage in this report; --dot needs a campaign "
+                "run with --coverage",
+                file=sys.stderr,
+            )
+            return 2
+        dot = coverage_dot(report.coverage)
+        if args.dot == "-":
+            sys.stdout.write(dot)
+        else:
+            with open(args.dot, "w", encoding="utf-8") as fh:
+                fh.write(dot)
+            print(f"coverage digraph written to {args.dot}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "test": _cmd_test,
         "replay": _cmd_replay,
         "bench": _cmd_bench,
+        "report": _cmd_report,
     }[args.command]
     try:
         return handler(args)

@@ -191,6 +191,24 @@ def liveness_suite() -> List[Benchmark]:
     return suite("liveness")
 
 
+#: A small, fast, structurally diverse slice of the registry used to
+#: smoke-check activity coverage: a leader-election protocol with
+#: monitors (Raft), a protocol driven by a coherence directory (German),
+#: a liveness benchmark with hot/cold monitor states (ProcessScheduler),
+#: and a ring topology (TokenRing).
+COVERAGE_SMOKE_NAMES = ("Raft", "German", "ProcessScheduler", "TokenRing")
+
+
+def coverage_smoke_suite() -> List[Benchmark]:
+    """The benchmarks CI drives with ``--coverage`` enabled.
+
+    Kept deliberately small — coverage smoke runs on every backend, so
+    each entry costs three campaigns — while still exercising ordinary
+    machines, safety monitors, and hot/cold liveness monitors."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in COVERAGE_SMOKE_NAMES]
+
+
 _LOADED = False
 
 

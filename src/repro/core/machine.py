@@ -566,6 +566,9 @@ class Machine:
             old.exit_fn(self)
         self._current_state = info
         self._current_event = event
+        runtime = self._runtime
+        if runtime._hook_state:
+            runtime.on_state_entered(self, old, event)
         entry_fn = info.entry_fn
         if entry_fn is not None:
             entry_fn(self)
@@ -652,6 +655,9 @@ class Machine:
                 exit_handler[0](self)
             self._current_state = info
             self._current_event = event
+            runtime = self._runtime
+            if runtime._hook_state:
+                runtime.on_state_entered(self, old, event)
             if entry_handler is not None:
                 entry_handler[0](self)
             return True
@@ -667,6 +673,9 @@ class Machine:
                 fn(self)
         self._current_state = info
         self._current_event = event
+        runtime = self._runtime
+        if runtime._hook_state:
+            runtime.on_state_entered(self, old, event)
         handler = info.entry_inline
         if handler is not None:
             fn, is_coroutine = handler

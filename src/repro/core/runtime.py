@@ -25,6 +25,14 @@ from .machine import Machine
 class RuntimeBase:
     """State and behaviour shared by all runtimes."""
 
+    # State-entry hook flag, mirroring the ``_hook_dequeued`` pattern:
+    # machines check this one boolean before calling
+    # :meth:`on_state_entered`, so runtimes without activity-coverage
+    # collection (this default) pay a single attribute test per state
+    # change.  The bug-finding runtime overrides it *per instance* when
+    # a CoverageMap is attached.
+    _hook_state = False
+
     def __init__(self) -> None:
         self._machines: Dict[MachineId, Machine] = {}
         self._next_id = 0
@@ -102,6 +110,17 @@ class RuntimeBase:
     def on_event_dequeued(self, machine: Machine, event: Event) -> None:
         """Hook invoked when a machine dequeues an event (used by the
         CHESS baseline to add happens-before edges and visible ops)."""
+
+    def on_state_entered(
+        self,
+        machine: Machine,
+        old_info: Optional[Any],
+        event: Optional[Event],
+    ) -> None:
+        """Hook invoked after a machine (or monitor) entered a state —
+        ``old_info`` is the previous :class:`StateInfo` (None on the
+        initial entry) and ``event`` the trigger.  Guarded by the
+        ``_hook_state`` flag; used for activity-coverage collection."""
 
     def log(self, message: str) -> None:
         if self._log_sink is not None:

@@ -1,6 +1,7 @@
 """Systematic concurrency testing for P# programs (Section 6.2)."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
+from .coverage import CoverageMap, MachineCoverage
 from .engine import TestingEngine, TestReport, drive, replay
 from .faults import FaultConfig
 from .monitors import EMachineHalted, Monitor, cold, has_hot_states, hot
@@ -14,6 +15,14 @@ from .portfolio import (
     strategy_names,
 )
 from .config import Campaign, TestConfig
+from .reporting import (
+    coverage_dot,
+    coverage_table,
+    load_campaign,
+    report_json,
+    save_report,
+)
+from .telemetry import EventLog, Histogram, TelemetryStats
 from .runtime import (
     BugFindingRuntime,
     ExecutionResult,
@@ -38,6 +47,16 @@ __all__ = [
     "FaultConfig",
     "load_checkpoint",
     "save_checkpoint",
+    "CoverageMap",
+    "MachineCoverage",
+    "TelemetryStats",
+    "Histogram",
+    "EventLog",
+    "save_report",
+    "load_campaign",
+    "coverage_table",
+    "report_json",
+    "coverage_dot",
     "TestingEngine",
     "TestReport",
     "drive",

@@ -62,6 +62,10 @@ def config_fingerprint(config: "TestConfig") -> str:
             config.stop_on_first_bug,
             config.workers,
             config.faults,
+            # Coverage collection changes what a shard's report carries;
+            # resuming a plain campaign from a coverage checkpoint (or
+            # vice versa) would merge maps with holes.
+            config.coverage,
         )
     )
     return hashlib.sha256(key.encode("utf-8")).hexdigest()

@@ -49,6 +49,7 @@ from .portfolio import (
 )
 from .runtime import ExecutionResult
 from .strategies import SchedulingStrategy
+from .telemetry import EventLog
 from .trace import ScheduleTrace
 
 #: worker back-ends a config may name; "auto" resolves per program.
@@ -144,6 +145,18 @@ class TestConfig:
         Per-iteration wall-clock watchdog in seconds: a stuck execution
         is canceled with status ``"watchdog"`` (counted in
         ``TestReport.watchdog_hits``) and the campaign continues.
+    coverage:
+        Collect activity coverage (:mod:`repro.testing.coverage`): the
+        campaign report carries a mergeable
+        :class:`~repro.testing.coverage.CoverageMap` of states entered,
+        transitions taken and events sent/dequeued/dropped, with
+        declared-vs-visited deltas renderable by ``python -m repro
+        report``.  Off by default (collection hooks stay dark).
+    events_path:
+        Path of a JSONL file to stream structured campaign events to
+        (:class:`~repro.testing.telemetry.EventLog`): campaign/shard
+        spans, progress, bug/watchdog/checkpoint events, worker
+        heartbeats and respawns.  Appended to, multi-process safe.
     """
 
     __test__ = False
@@ -167,6 +180,8 @@ class TestConfig:
     runtime_factory: Optional[Callable[..., Any]] = None
     faults: Optional[FaultConfig] = None
     iteration_timeout: Optional[float] = None
+    coverage: bool = False
+    events_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not (
@@ -205,6 +220,11 @@ class TestConfig:
             )
         if self.iteration_timeout is not None and self.iteration_timeout <= 0:
             raise PSharpError("iteration_timeout must be positive (or None)")
+        object.__setattr__(self, "coverage", bool(self.coverage))
+        if self.events_path is not None:
+            import os
+
+            object.__setattr__(self, "events_path", os.fspath(self.events_path))
 
     # ------------------------------------------------------------------
     def with_overrides(self, **overrides: Any) -> "TestConfig":
@@ -298,25 +318,39 @@ class Campaign:
         config = self.config
         main_cls, payload, monitors = config.resolve_program()
         strategy = self._strategy_override or config.build_strategy()
-        report = drive(
-            main_cls,
-            payload,
-            strategy,
-            max_iterations=config.max_iterations,
-            time_limit=config.time_limit,
-            max_steps=config.max_steps,
-            stop_on_first_bug=config.stop_on_first_bug,
-            livelock_as_bug=config.livelock_as_bug,
-            record_traces=config.record_traces,
-            runtime_factory=config.runtime_factory,
-            deadline=deadline,
-            stop_check=stop_check,
-            workers=config.workers,
-            monitors=monitors,
-            max_hot_steps=config.max_hot_steps,
-            faults=config.resolved_faults(),
-            iteration_timeout=config.iteration_timeout,
+        events = (
+            EventLog(config.events_path)
+            if config.events_path is not None
+            else None
         )
+        if events is not None:
+            events.emit("campaign_start", program=str(config.program))
+        try:
+            report = drive(
+                main_cls,
+                payload,
+                strategy,
+                max_iterations=config.max_iterations,
+                time_limit=config.time_limit,
+                max_steps=config.max_steps,
+                stop_on_first_bug=config.stop_on_first_bug,
+                livelock_as_bug=config.livelock_as_bug,
+                record_traces=config.record_traces,
+                runtime_factory=config.runtime_factory,
+                deadline=deadline,
+                stop_check=stop_check,
+                workers=config.workers,
+                monitors=monitors,
+                max_hot_steps=config.max_hot_steps,
+                faults=config.resolved_faults(),
+                iteration_timeout=config.iteration_timeout,
+                coverage=config.coverage,
+                events=events,
+            )
+        finally:
+            if events is not None:
+                events.emit("campaign_end")
+                events.close()
         self.last_report = report
         return report
 

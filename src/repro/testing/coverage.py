@@ -1,0 +1,376 @@
+"""Activity coverage: what a campaign *explored*, not just what it found.
+
+The P# tester reports activity coverage alongside bugs — which machine
+states, transitions and event flows the explored schedules actually
+exercised — because "0 bugs in 100k schedules" only means something when
+the schedules visited the program.  This module is that signal for the
+reproduction: a picklable, mergeable :class:`CoverageMap` collected at
+the runtime's existing hook points (state entry, send, dequeue, halt)
+on every worker back-end.
+
+Two universes per machine class make the *deltas* reportable by name:
+
+* the **declared** universe comes from the precompiled dispatch tables
+  (:class:`~repro.core.machine.StateInfo`): every state the class
+  declares, and every ``(state, event) → state`` transition in its
+  ``transitions`` maps — the same tables
+  :func:`~repro.core.machine.machine_statistics` counts for Table 1;
+* the **visited** universe is what the campaign's schedules entered and
+  took, with occurrence counts.
+
+Uncovered states/transitions are simply declared minus visited, so the
+report (``python -m repro report``) can *name* what a campaign never
+reached.  Maps merge associatively (portfolio shards, checkpoint
+resume, future distributed fleets) and fingerprint deterministically,
+which is how the cross-backend bit-identity guarantee is tested: for a
+fixed strategy seed, inline/pool/spawn campaigns produce *equal* maps.
+
+Collection costs one pointer-is-None check per hook when disabled (the
+runtime's ``_hook_state``/``_cov`` flags); nothing here is imported on
+the runtime's hot paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+__all__ = ["CoverageMap", "MachineCoverage"]
+
+
+class MachineCoverage:
+    """Declared-vs-visited coverage of one machine (or monitor) class.
+
+    ``declared_transitions`` entries are ``(state, event, target)`` name
+    triples.  Visited tables map names to occurrence counts; a declared
+    transition fires only for its exactly-declared event class (the
+    dispatch tables never route a subclass event to a base-class
+    transition), so every visited transition key is also a declared key.
+    """
+
+    __slots__ = (
+        "declared_states",
+        "declared_transitions",
+        "is_monitor",
+        "instances",
+        "halts",
+        "states_visited",
+        "transitions_taken",
+    )
+
+    def __init__(
+        self,
+        declared_states: Tuple[str, ...] = (),
+        declared_transitions: Tuple[Tuple[str, str, str], ...] = (),
+        is_monitor: bool = False,
+    ) -> None:
+        self.declared_states = tuple(declared_states)
+        self.declared_transitions = tuple(declared_transitions)
+        self.is_monitor = is_monitor
+        self.instances = 0
+        self.halts = 0
+        self.states_visited: Dict[str, int] = {}
+        self.transitions_taken: Dict[Tuple[str, str, str], int] = {}
+
+    # -- derived ------------------------------------------------------
+    def uncovered_states(self) -> List[str]:
+        visited = self.states_visited
+        return [s for s in self.declared_states if s not in visited]
+
+    def uncovered_transitions(self) -> List[Tuple[str, str, str]]:
+        taken = self.transitions_taken
+        return [t for t in self.declared_transitions if t not in taken]
+
+    @property
+    def state_coverage(self) -> float:
+        """Fraction of declared states entered at least once (1.0 when
+        the class declares none — vacuously covered)."""
+        declared = len(self.declared_states)
+        if not declared:
+            return 1.0
+        return (declared - len(self.uncovered_states())) / declared
+
+    @property
+    def transition_coverage(self) -> float:
+        declared = len(self.declared_transitions)
+        if not declared:
+            return 1.0
+        return (declared - len(self.uncovered_transitions())) / declared
+
+    # -- merge/copy/equality ------------------------------------------
+    def merge(self, other: "MachineCoverage") -> None:
+        if other.declared_states != self.declared_states:
+            # Same-named classes with different declared universes (e.g.
+            # two modules reusing a class name): union the declarations
+            # so neither campaign's uncovered list silently shrinks.
+            self.declared_states = tuple(
+                sorted(set(self.declared_states) | set(other.declared_states))
+            )
+        if other.declared_transitions != self.declared_transitions:
+            self.declared_transitions = tuple(
+                sorted(set(self.declared_transitions) | set(other.declared_transitions))
+            )
+        self.is_monitor = self.is_monitor or other.is_monitor
+        self.instances += other.instances
+        self.halts += other.halts
+        visited = self.states_visited
+        for name, count in other.states_visited.items():
+            visited[name] = visited.get(name, 0) + count
+        taken = self.transitions_taken
+        for key, count in other.transitions_taken.items():
+            taken[key] = taken.get(key, 0) + count
+
+    def copy(self) -> "MachineCoverage":
+        clone = MachineCoverage(
+            self.declared_states, self.declared_transitions, self.is_monitor
+        )
+        clone.instances = self.instances
+        clone.halts = self.halts
+        clone.states_visited = dict(self.states_visited)
+        clone.transitions_taken = dict(self.transitions_taken)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MachineCoverage):
+            return NotImplemented
+        return (
+            self.declared_states == other.declared_states
+            and self.declared_transitions == other.declared_transitions
+            and self.is_monitor == other.is_monitor
+            and self.instances == other.instances
+            and self.halts == other.halts
+            and self.states_visited == other.states_visited
+            and self.transitions_taken == other.transitions_taken
+        )
+
+    __hash__ = None  # mutable
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "monitor": self.is_monitor,
+            "instances": self.instances,
+            "halts": self.halts,
+            "declared_states": len(self.declared_states),
+            "declared_transitions": len(self.declared_transitions),
+            "state_coverage": round(self.state_coverage, 4),
+            "transition_coverage": round(self.transition_coverage, 4),
+            "states_visited": dict(sorted(self.states_visited.items())),
+            "transitions_taken": {
+                f"{s} --{e}--> {t}": n
+                for (s, e, t), n in sorted(self.transitions_taken.items())
+            },
+            "uncovered_states": self.uncovered_states(),
+            "uncovered_transitions": [
+                f"{s} --{e}--> {t}" for s, e, t in self.uncovered_transitions()
+            ],
+        }
+
+
+class CoverageMap:
+    """Mergeable activity coverage of a whole campaign.
+
+    Keyed by machine-class name (``cls.__name__``): the portfolio merges
+    maps produced in different processes, where class *objects* differ
+    but the program they describe does not.  Event-flow counters
+    (``events_sent`` / ``events_dequeued`` / ``events_dropped``) are
+    campaign-global, keyed by event-class name; a drop is a message lost
+    to a send-to-halted/missing target or to an injected drop fault.
+
+    The ``_classes`` identity cache keeps the hot recording path to one
+    dict probe per call; it is transient (rebuilt empty on unpickle) so
+    maps travel across process boundaries without dragging class
+    references along.
+    """
+
+    __slots__ = (
+        "machines",
+        "events_sent",
+        "events_dequeued",
+        "events_dropped",
+        "_classes",
+    )
+
+    def __init__(self) -> None:
+        self.machines: Dict[str, MachineCoverage] = {}
+        self.events_sent: Dict[str, int] = {}
+        self.events_dequeued: Dict[str, int] = {}
+        self.events_dropped: Dict[str, int] = {}
+        self._classes: Dict[type, MachineCoverage] = {}
+
+    # -- pickling (drop the transient class cache) --------------------
+    def __getstate__(self):
+        return (
+            self.machines,
+            self.events_sent,
+            self.events_dequeued,
+            self.events_dropped,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.machines,
+            self.events_sent,
+            self.events_dequeued,
+            self.events_dropped,
+        ) = state
+        self._classes = {}
+
+    # -- registration -------------------------------------------------
+    def ensure_class(self, cls: type, *, monitor: bool = False) -> MachineCoverage:
+        """Register ``cls``'s declared universe (idempotent) and return
+        its per-class record.  Never-visited classes still contribute
+        their declared states/transitions to the uncovered report."""
+        record = self._classes.get(cls)
+        if record is not None:
+            return record
+        name = cls.__name__
+        record = self.machines.get(name)
+        if record is None:
+            states: List[str] = []
+            transitions: List[Tuple[str, str, str]] = []
+            for state_name, info in sorted(cls._state_infos.items()):
+                states.append(state_name)
+                for event_cls, target in info.transitions.items():
+                    transitions.append((state_name, event_cls.__name__, target))
+            record = MachineCoverage(
+                tuple(states), tuple(sorted(transitions)), monitor
+            )
+            self.machines[name] = record
+        self._classes[cls] = record
+        return record
+
+    # -- recording (called from the runtime's hook points) ------------
+    def record_machine(self, cls: type) -> None:
+        record = self._classes.get(cls)
+        if record is None:
+            record = self.ensure_class(cls)
+        record.instances += 1
+
+    def record_halt(self, cls: type) -> None:
+        record = self._classes.get(cls)
+        if record is None:
+            record = self.ensure_class(cls)
+        record.halts += 1
+
+    def record_entry(
+        self, cls: type, old: Optional[str], event, new: str
+    ) -> None:
+        """One state entry of an instance of ``cls``: ``old`` is the
+        previous state's name (None for the initial entry, which counts
+        as a state visit but not a transition)."""
+        record = self._classes.get(cls)
+        if record is None:
+            record = self.ensure_class(cls)
+        visited = record.states_visited
+        visited[new] = visited.get(new, 0) + 1
+        if old is not None and event is not None:
+            key = (old, type(event).__name__, new)
+            taken = record.transitions_taken
+            taken[key] = taken.get(key, 0) + 1
+
+    def record_send(self, event, dropped: bool) -> None:
+        name = type(event).__name__
+        sent = self.events_sent
+        sent[name] = sent.get(name, 0) + 1
+        if dropped:
+            drops = self.events_dropped
+            drops[name] = drops.get(name, 0) + 1
+
+    def record_drop(self, event) -> None:
+        name = type(event).__name__
+        drops = self.events_dropped
+        drops[name] = drops.get(name, 0) + 1
+
+    def record_dequeue(self, event) -> None:
+        name = type(event).__name__
+        dequeued = self.events_dequeued
+        dequeued[name] = dequeued.get(name, 0) + 1
+
+    # -- merge/copy/equality/fingerprint ------------------------------
+    def merge(self, other: "CoverageMap") -> "CoverageMap":
+        """Fold ``other`` into this map (in place) and return self.
+        Merging is associative and commutative up to declared-universe
+        ordering, so shard/checkpoint fold order does not matter."""
+        machines = self.machines
+        for name, record in other.machines.items():
+            mine = machines.get(name)
+            if mine is None:
+                machines[name] = record.copy()
+            else:
+                mine.merge(record)
+        for mine_counts, other_counts in (
+            (self.events_sent, other.events_sent),
+            (self.events_dequeued, other.events_dequeued),
+            (self.events_dropped, other.events_dropped),
+        ):
+            for name, count in other_counts.items():
+                mine_counts[name] = mine_counts.get(name, 0) + count
+        return self
+
+    def copy(self) -> "CoverageMap":
+        clone = CoverageMap()
+        clone.machines = {name: rec.copy() for name, rec in self.machines.items()}
+        clone.events_sent = dict(self.events_sent)
+        clone.events_dequeued = dict(self.events_dequeued)
+        clone.events_dropped = dict(self.events_dropped)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return (
+            self.machines == other.machines
+            and self.events_sent == other.events_sent
+            and self.events_dequeued == other.events_dequeued
+            and self.events_dropped == other.events_dropped
+        )
+
+    __hash__ = None  # mutable
+
+    def __bool__(self) -> bool:
+        return bool(self.machines or self.events_sent)
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the map's *content* (insertion order
+        excluded): equal maps — e.g. the same seeded campaign run on
+        different worker back-ends — produce equal fingerprints."""
+        canonical = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- reporting ----------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "machines": {
+                name: record.to_json()
+                for name, record in sorted(self.machines.items())
+            },
+            "events": {
+                "sent": dict(sorted(self.events_sent.items())),
+                "dequeued": dict(sorted(self.events_dequeued.items())),
+                "dropped": dict(sorted(self.events_dropped.items())),
+            },
+        }
+
+    def totals(self) -> Dict[str, int]:
+        """Campaign-wide declared/visited tallies (the report header)."""
+        declared_states = visited_states = 0
+        declared_transitions = visited_transitions = 0
+        for record in self.machines.values():
+            declared_states += len(record.declared_states)
+            visited_states += len(record.declared_states) - len(
+                record.uncovered_states()
+            )
+            declared_transitions += len(record.declared_transitions)
+            visited_transitions += len(record.declared_transitions) - len(
+                record.uncovered_transitions()
+            )
+        return {
+            "declared_states": declared_states,
+            "visited_states": visited_states,
+            "declared_transitions": declared_transitions,
+            "visited_transitions": visited_transitions,
+            "events_sent": sum(self.events_sent.values()),
+            "events_dequeued": sum(self.events_dequeued.values()),
+            "events_dropped": sum(self.events_dropped.values()),
+        }

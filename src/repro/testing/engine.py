@@ -36,9 +36,11 @@ from typing import Any, Callable, List, Optional, Sequence, Type, Union
 from ..core.continuations import InlineCompileError
 from ..core.machine import Machine
 from ..errors import BugReport
-from .faults import FaultConfig
+from .coverage import CoverageMap
+from .faults import FaultConfig, outcome_name
 from .runtime import BugFindingRuntime, ExecutionResult
 from .strategies import ReplayStrategy, SchedulingStrategy
+from .telemetry import EventLog, TelemetryStats
 from .trace import ScheduleTrace
 
 
@@ -85,6 +87,16 @@ class TestReport:
     # fallback stays honest in A/B comparisons.  Merged campaign reports
     # show "mixed" when sub-reports disagree.
     effective_backend: Optional[str] = None
+    # Observability (PR 8): injected-fault totals by outcome name,
+    # strategy-consulted scheduling decisions, activity coverage and
+    # execution-shape telemetry.  Coverage is attached only when the
+    # campaign asked for it; telemetry is always collected (its cost is
+    # one perf_counter pair + histogram bump per iteration).
+    faults_injected: int = 0
+    fault_kinds: dict = field(default_factory=dict)
+    consulted_decisions: int = 0
+    coverage: Optional[CoverageMap] = None
+    telemetry: Optional[TelemetryStats] = None
 
     @property
     def bug_found(self) -> bool:
@@ -104,13 +116,39 @@ class TestReport:
     def percent_buggy(self) -> float:
         return 100.0 * self.buggy_iterations / self.iterations if self.iterations else 0.0
 
+    @property
+    def distinct_bugs(self) -> int:
+        """Number of distinct bugs among ``bugs``, keyed by schedule-trace
+        fingerprint (two different interleavings reaching the same
+        assertion count separately — they *are* different schedules).
+        Traceless bugs cannot be deduplicated and each count as
+        distinct."""
+        fingerprints = set()
+        traceless = 0
+        for bug in self.bugs:
+            if bug.trace is None:
+                traceless += 1
+            else:
+                fingerprints.add(bug.trace.fingerprint())
+        return len(fingerprints) + traceless
+
     def summary(self) -> str:
-        return (
+        parts = [
             f"{self.strategy}: {self.iterations} schedules in {self.elapsed:.2f}s "
             f"({self.schedules_per_second:.1f}/s), #SP={self.mean_scheduling_points:.0f}, "
             f"buggy={self.buggy_iterations} ({self.percent_buggy:.0f}%)"
-            + (f", first bug: {self.first_bug}" if self.first_bug else "")
-        )
+        ]
+        if self.bugs:
+            parts.append(f", distinct={self.distinct_bugs}")
+        if self.watchdog_hits:
+            parts.append(f", watchdog={self.watchdog_hits}")
+        if self.faults_injected:
+            parts.append(f", faults={self.faults_injected}")
+        if self.effective_backend is not None:
+            parts.append(f" [{self.effective_backend}]")
+        if self.first_bug:
+            parts.append(f", first bug: {self.first_bug}")
+        return "".join(parts)
 
     # -- portfolio plumbing --------------------------------------------
     def merge(self, other: "TestReport") -> "TestReport":
@@ -121,6 +159,12 @@ class TestReport:
         schedules/sec is total iterations over wall-clock time.  The first
         bug of the merge is the existing one if any (fold order defines
         precedence), otherwise ``other``'s.
+
+        Bugs are *deduplicated* across the merge by schedule-trace
+        fingerprint: two portfolio workers finding the same interleaving
+        (identical decision sequences, e.g. two seeded DFS shards
+        overlapping) contribute it once.  Bugs without traces cannot be
+        identified and are always kept.
         """
         self.iterations += other.iterations
         self.buggy_iterations += other.buggy_iterations
@@ -130,7 +174,32 @@ class TestReport:
         self.total_scheduling_points += other.total_scheduling_points
         self.max_machines = max(self.max_machines, other.max_machines)
         self.elapsed = max(self.elapsed, other.elapsed)
-        self.bugs.extend(other.bugs)
+        self.faults_injected += other.faults_injected
+        for kind, count in other.fault_kinds.items():
+            self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + count
+        self.consulted_decisions += other.consulted_decisions
+        if other.coverage is not None:
+            if self.coverage is None:
+                self.coverage = other.coverage.copy()
+            else:
+                self.coverage.merge(other.coverage)
+        if other.telemetry is not None:
+            if self.telemetry is None:
+                self.telemetry = other.telemetry.copy()
+            else:
+                self.telemetry.merge(other.telemetry)
+        seen = {
+            bug.trace.fingerprint()
+            for bug in self.bugs
+            if bug.trace is not None
+        }
+        for bug in other.bugs:
+            if bug.trace is not None:
+                key = bug.trace.fingerprint()
+                if key in seen:
+                    continue
+                seen.add(key)
+            self.bugs.append(bug)
         if self.first_bug is None and other.first_bug is not None:
             self.first_bug = other.first_bug
             self.first_bug_iteration = other.first_bug_iteration
@@ -173,7 +242,14 @@ class TestReport:
             timed_out=self.timed_out,
             interrupted=self.interrupted,
             effective_backend=self.effective_backend,
+            faults_injected=self.faults_injected,
+            consulted_decisions=self.consulted_decisions,
         )
+        clone.fault_kinds = dict(self.fault_kinds)
+        if self.coverage is not None:
+            clone.coverage = self.coverage.copy()
+        if self.telemetry is not None:
+            clone.telemetry = self.telemetry.copy()
         clone.bugs = [bug.detached() for bug in self.bugs]
         if self.first_bug is not None:
             clone.first_bug = self.first_bug.detached()
@@ -200,6 +276,8 @@ def drive(
     max_hot_steps: int = 1000,
     faults: Optional[FaultConfig] = None,
     iteration_timeout: Optional[float] = None,
+    coverage: bool = False,
+    events: Optional[EventLog] = None,
 ) -> TestReport:
     """The iteration loop shared by :class:`TestingEngine` and portfolio
     workers: run up to ``max_iterations`` schedules under ``strategy``.
@@ -237,6 +315,14 @@ def drive(
     arms the per-iteration wall-clock watchdog — a stuck execution is
     canceled with status ``"watchdog"``, counted in
     ``report.watchdog_hits``, and the campaign continues.
+
+    ``coverage`` attaches a fresh
+    :class:`~repro.testing.coverage.CoverageMap` to the campaign's
+    runtime and reports it as ``report.coverage`` (under the auto→pool
+    restart the map is rebuilt with the campaign, so it stays
+    bit-identical to an explicit pooled run).  ``events`` streams
+    shard-level progress to a :class:`~repro.testing.telemetry.EventLog`;
+    execution-shape telemetry (``report.telemetry``) is always on.
     """
     if deadline is None and time_limit is not None:
         deadline = time.monotonic() + time_limit
@@ -250,6 +336,7 @@ def drive(
             stop_check=stop_check, workers=workers, monitors=monitors,
             max_hot_steps=max_hot_steps, faults=faults,
             iteration_timeout=iteration_timeout,
+            coverage=coverage, events=events,
         )
     except InlineCompileError:
         if workers != "auto":
@@ -269,6 +356,7 @@ def drive(
             stop_check=stop_check, workers="pool", monitors=monitors,
             max_hot_steps=max_hot_steps, faults=faults,
             iteration_timeout=iteration_timeout,
+            coverage=coverage, events=events,
         )
 
 
@@ -290,13 +378,19 @@ def _campaign_loop(
     max_hot_steps: int,
     faults: Optional[FaultConfig],
     iteration_timeout: Optional[float],
+    coverage: bool,
+    events: Optional[EventLog],
 ) -> TestReport:
     factory = runtime_factory or BugFindingRuntime
     report = TestReport(strategy=strategy.name)
+    # A fresh map per loop entry: the auto→pool restart re-enters here
+    # and must not double-count the aborted inline attempt's coverage.
+    cov = CoverageMap() if coverage else None
+    stats = TelemetryStats()
     start = time.perf_counter()
 
     def build_runtime() -> BugFindingRuntime:
-        return factory(
+        kwargs = dict(
             strategy=strategy,
             max_steps=max_steps,
             record_trace=record_traces,
@@ -309,6 +403,11 @@ def _campaign_loop(
             faults=faults,
             iteration_timeout=iteration_timeout,
         )
+        if cov is not None:
+            # Only added when collection is on, so custom runtime
+            # factories without the parameter keep working unchanged.
+            kwargs["coverage"] = cov
+        return factory(**kwargs)
 
     runtime = build_runtime()
     # Custom runtime factories may resolve "auto" themselves (ChessRuntime
@@ -317,6 +416,14 @@ def _campaign_loop(
     report.effective_backend = (
         resolve(main_cls) if resolve is not None else workers
     )
+    if events is not None:
+        events.emit(
+            "shard_start",
+            strategy=strategy.name,
+            backend=report.effective_backend,
+            max_iterations=max_iterations,
+        )
+    last_progress = start
     try:
         for iteration in range(max_iterations):
             if deadline is not None and time.monotonic() >= deadline:
@@ -332,15 +439,41 @@ def _campaign_loop(
                 # never unwound; that runtime (and its thread) is written
                 # off so the straggler cannot corrupt later iterations.
                 runtime = build_runtime()
+            iter_start = time.perf_counter()
             result = runtime.execute(main_cls, payload)
+            iter_end = time.perf_counter()
             report.max_machines = max(report.max_machines, runtime.machine_count)
             report.total_steps += result.steps
             report.total_scheduling_points += result.scheduling_points
+            report.consulted_decisions += result.consulted
+            if result.faults_injected:
+                report.faults_injected += result.faults_injected
+                kinds = report.fault_kinds
+                for code, count in enumerate(result.fault_kinds):
+                    if count:
+                        name = outcome_name(code)
+                        kinds[name] = kinds.get(name, 0) + count
             if result.status in ("time-bound", "stopped"):
                 # Cut off mid-schedule: count the work, not the schedule.
                 report.timed_out = report.timed_out or result.status == "time-bound"
                 break
             report.iterations += 1
+            stats.record_iteration(
+                steps=result.steps,
+                scheduling_points=result.scheduling_points,
+                wall_seconds=iter_end - iter_start,
+                since_start=iter_end - start,
+                consulted=result.consulted,
+                fault_kinds=(
+                    {
+                        outcome_name(code): count
+                        for code, count in enumerate(result.fault_kinds)
+                        if count
+                    }
+                    if result.faults_injected
+                    else None
+                ),
+            )
             if result.status == "depth-bound":
                 report.depth_bound_hits += 1
             elif result.status == "watchdog":
@@ -348,6 +481,16 @@ def _campaign_loop(
                 # count it and keep campaigning — unlike "time-bound",
                 # the campaign budget is not exhausted.
                 report.watchdog_hits += 1
+                if events is not None:
+                    events.emit("watchdog_hit", iteration=iteration)
+            if events is not None and iter_end - last_progress >= 1.0:
+                last_progress = iter_end
+                events.emit(
+                    "progress",
+                    iterations=report.iterations,
+                    buggy=report.buggy_iterations,
+                    steps=report.total_steps,
+                )
             if result.buggy:
                 assert result.bug is not None
                 result.bug.iteration = iteration
@@ -356,11 +499,29 @@ def _campaign_loop(
                 if report.first_bug is None:
                     report.first_bug = result.bug
                     report.first_bug_iteration = iteration
+                if events is not None:
+                    events.emit(
+                        "bug_found",
+                        iteration=iteration,
+                        kind=result.bug.kind,
+                        message=str(result.bug.message),
+                    )
                 if stop_on_first_bug:
                     break
     finally:
         runtime.close()
     report.elapsed = time.perf_counter() - start
+    report.coverage = cov
+    report.telemetry = stats
+    if events is not None:
+        events.emit(
+            "shard_end",
+            iterations=report.iterations,
+            buggy=report.buggy_iterations,
+            elapsed=round(report.elapsed, 3),
+            exhausted=report.exhausted,
+            timed_out=report.timed_out,
+        )
     return report
 
 

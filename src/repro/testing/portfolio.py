@@ -48,6 +48,7 @@ from .checkpoint import (
 )
 from .engine import TestReport, drive, replay
 from .runtime import ExecutionResult
+from .telemetry import EventLog
 from .strategies import (
     DelayBoundingStrategy,
     DfsStrategy,
@@ -226,6 +227,13 @@ def _portfolio_worker(
 
     else:
         stop_check = cancel.is_set
+    # Per-shard event stream: workers append to the same JSONL file as
+    # the parent (single-line appends are multi-process safe), tagged
+    # with their shard index.
+    events_path = config.get("events_path")
+    events = (
+        EventLog(events_path, shard=index) if events_path is not None else None
+    )
     try:
         strategy = make_strategy(spec)
         report = drive(
@@ -246,6 +254,8 @@ def _portfolio_worker(
             max_hot_steps=config["max_hot_steps"],
             faults=config.get("faults"),
             iteration_timeout=config.get("iteration_timeout"),
+            coverage=config.get("coverage", False),
+            events=events,
         )
         if config["stop_on_first_bug"] and report.first_bug is not None:
             cancel.set()
@@ -253,6 +263,9 @@ def _portfolio_worker(
     except Exception as exc:  # noqa: BLE001 - never strand the parent
         results.put((index, TestReport(strategy=spec.label())))
         raise SystemExit(f"portfolio worker {index} ({spec.label()}) failed: {exc}")
+    finally:
+        if events is not None:
+            events.close()
 
 
 # ---------------------------------------------------------------------------
@@ -366,7 +379,23 @@ def run_portfolio(
         "max_hot_steps": config.max_hot_steps,
         "faults": config.resolved_faults(),
         "iteration_timeout": config.iteration_timeout,
+        "coverage": config.coverage,
+        "events_path": config.events_path,
     }
+    # Parent-side event stream: campaign lifecycle, worker supervision
+    # and checkpoint writes.  Workers append shard-tagged records to the
+    # same file; line-sized appends interleave safely.
+    events = (
+        EventLog(config.events_path) if config.events_path is not None else None
+    )
+    if events is not None:
+        events.emit(
+            "campaign_start",
+            program=str(config.program),
+            specs=[spec.label() for spec in specs],
+            resumed=resume is not None,
+            completed_shards=sorted(completed),
+        )
 
     collected: Dict[int, TestReport] = dict(completed)
     checkpointed: Dict[int, TestReport] = dict(completed)
@@ -394,6 +423,14 @@ def run_portfolio(
         all_children.append(process)
         running[index] = process
         process.start()
+        if events is not None:
+            events.emit(
+                "worker_spawn",
+                shard=index,
+                spec=specs[index].label(),
+                attempt=respawns.get(index, 0),
+                pid=process.pid,
+            )
 
     def accept(index: int, report: TestReport, *, flush_only: bool = False) -> None:
         nonlocal winner_index, hard_stop
@@ -413,6 +450,12 @@ def run_portfolio(
                     specs=specs,
                     completed=checkpointed,
                 )
+                if events is not None:
+                    events.emit(
+                        "checkpoint",
+                        path=os.fspath(checkpoint),
+                        completed_shards=sorted(checkpointed),
+                    )
         if (
             winner_index is None
             and report.first_bug is not None
@@ -472,9 +515,25 @@ def run_portfolio(
                     attempts = respawns.get(index, 0)
                     if cancel.is_set() or attempts >= max_respawns:
                         abandoned.add(index)
+                        if events is not None:
+                            events.emit(
+                                "worker_abandoned",
+                                shard=index,
+                                spec=specs[index].label(),
+                                attempts=attempts,
+                                stale=stale,
+                            )
                     else:
                         respawns[index] = attempts + 1
                         respawn_at[index] = now + 0.5 * (2 ** attempts)
+                        if events is not None:
+                            events.emit(
+                                "worker_respawn",
+                                shard=index,
+                                spec=specs[index].label(),
+                                attempt=respawns[index],
+                                stale=stale,
+                            )
                 for index, due in list(respawn_at.items()):
                     if cancel.is_set():
                         respawn_at.pop(index)
@@ -500,6 +559,8 @@ def run_portfolio(
             # with interrupted=True (the CLI maps that to exit 130).
             interrupted = True
             cancel.set()
+            if events is not None:
+                events.emit("interrupted")
             flush_stop = time.monotonic() + min(grace, 2.0)
             while (
                 len(collected) + len(abandoned) < len(specs)
@@ -559,6 +620,16 @@ def run_portfolio(
         winning = collected[winner_index]
         campaign.first_bug = winning.first_bug
         campaign.first_bug_iteration = winning.first_bug_iteration
+    if events is not None:
+        events.emit(
+            "campaign_end",
+            iterations=campaign.iterations,
+            bugs=len(campaign.bugs),
+            elapsed=round(campaign.elapsed, 6),
+            interrupted=interrupted,
+            abandoned_shards=sorted(abandoned),
+        )
+        events.close()
     return campaign
 
 

@@ -75,6 +75,7 @@ from ..errors import (
     PSharpError,
     UnhandledEventError,
 )
+from .coverage import CoverageMap
 from .faults import (
     FAULT_CRASH,
     FAULT_DELAY,
@@ -125,6 +126,12 @@ class ExecutionResult:
     scheduling_points: int
     trace: Optional[ScheduleTrace]
     bug: Optional[BugReport] = None
+    # Telemetry: faults injected this execution, their outcomes indexed
+    # by FAULT_* code, and how many scheduling points actually consulted
+    # the strategy (the rest were forced single-choice continuations).
+    faults_injected: int = 0
+    fault_kinds: Tuple[int, ...] = (0, 0, 0, 0, 0)
+    consulted: int = 0
 
     @property
     def buggy(self) -> bool:
@@ -390,6 +397,15 @@ class BugFindingRuntime(RuntimeBase):
         scheduling steps cannot be interrupted — the watchdog targets
         runaway step churn (livelock-shaped iterations with generous
         ``max_steps``).
+    coverage:
+        A :class:`~repro.testing.coverage.CoverageMap` to accumulate
+        activity coverage into, across every execution this runtime
+        runs: states entered, transitions taken, events
+        sent/dequeued/dropped, machine instances and halts.  Collection
+        rides the existing hook points at identical positions on all
+        three back-ends, so for a fixed strategy seed the resulting map
+        is bit-identical across inline/pool/spawn.  ``None`` (default)
+        disables collection; the hooks then cost one boolean/None test.
     """
 
     # How many scheduling steps between deadline/stop_check polls: the
@@ -414,6 +430,7 @@ class BugFindingRuntime(RuntimeBase):
         max_hot_steps: int = 1000,
         faults: Optional[FaultConfig] = None,
         iteration_timeout: Optional[float] = None,
+        coverage: Optional[CoverageMap] = None,
     ) -> None:
         super().__init__()
         if workers not in ("auto", "inline", "pool", "spawn"):
@@ -478,6 +495,16 @@ class BugFindingRuntime(RuntimeBase):
         # runtime-per-iteration design had.  drive() constructs a fresh
         # runtime when it sees the flag.
         self.tainted = False
+        # Activity-coverage collection (repro.testing.coverage): the map
+        # accumulates across every execution this runtime runs, so the
+        # engine reads one campaign-level map at the end.  Armed before
+        # the construction-time reset() below — monitor boots during
+        # reset are state entries too.  When None (the default), the
+        # class-level ``_hook_state = False`` keeps every hook dark.
+        if coverage is not None and not isinstance(coverage, CoverageMap):
+            raise ValueError(f"coverage must be a CoverageMap, got {coverage!r}")
+        self._cov = coverage
+        self._hook_state = coverage is not None
         # Per-execution state (see reset()).  Initialized non-virtually so
         # subclass __init__ order cannot break construction.
         BugFindingRuntime.reset(self)
@@ -531,6 +558,10 @@ class BugFindingRuntime(RuntimeBase):
         self._send_fault_active = any(self._msg_weights) and self._fault_budget > 0
         self._crash_fault_active = self._crash_weight > 0 and self._fault_budget > 0
         self._fault_probe = getattr(self.strategy, "next_fault_outcome", None)
+        # Telemetry counters: injected-fault outcomes by FAULT_* code and
+        # strategy-consulted (non-forced) scheduling decisions.
+        self._fault_kinds = [0, 0, 0, 0, 0]
+        self._consulted = 0
         # Pooled-worker bookkeeping.
         self._bound: List[_PoolWorker] = []
         self._live = 0
@@ -562,7 +593,13 @@ class BugFindingRuntime(RuntimeBase):
         self._hook_dequeued = (
             type(self).on_event_dequeued is not BugFindingRuntime.on_event_dequeued
             or any(m.observes_dequeue for m in self.monitors)
+            or self._cov is not None  # dequeue counting rides the hook
         )
+        if self._cov is not None:
+            # Monitors visited in no execution must still contribute
+            # their declared states to the uncovered report.
+            for monitor_cls in self.monitors:
+                self._cov.ensure_class(monitor_cls, monitor=True)
         for index, monitor_cls in enumerate(self.monitors):
             instance = monitor_cls(
                 self, MachineId(-(index + 1), monitor_cls.__name__)
@@ -644,6 +681,9 @@ class BugFindingRuntime(RuntimeBase):
             scheduling_points=self._sched_points,
             trace=trace,
             bug=self._bug,
+            faults_injected=self._faults_injected,
+            fault_kinds=tuple(self._fault_kinds),
+            consulted=self._consulted,
         )
 
     def _release_pool_workers(self) -> None:
@@ -684,6 +724,9 @@ class BugFindingRuntime(RuntimeBase):
             if observers:
                 self._deliver_to_monitors(observers, event)
         machine = self._machines.get(target)
+        cov = self._cov
+        if cov is not None:
+            cov.record_send(event, machine is None or machine._halted)
         if machine is not None and not machine._halted:
             # Message-fault consultation point (kept in sync with the
             # inlined OP_SEND blocks of _inline_body/_inline_drive).
@@ -748,6 +791,7 @@ class BugFindingRuntime(RuntimeBase):
             self._trace.append(FAULT_TAG, outcome)
         if outcome != FAULT_NONE:
             self._faults_injected += 1
+            self._fault_kinds[outcome] += 1
             if self._faults_injected >= self._fault_budget:
                 self._send_fault_active = False
                 self._crash_fault_active = False
@@ -759,6 +803,8 @@ class BugFindingRuntime(RuntimeBase):
         twice; delay makes it overtake the previously queued message
         (pairwise reordering — a no-op on an empty inbox)."""
         if outcome == FAULT_DROP:
+            if self._cov is not None:
+                self._cov.record_drop(event)
             return
         inbox = target._inbox
         if outcome == FAULT_DUPLICATE:
@@ -786,6 +832,7 @@ class BugFindingRuntime(RuntimeBase):
             self._trace.append(FAULT_TAG, FAULT_CRASH if fire else FAULT_NONE)
         if fire:
             self._faults_injected += 1
+            self._fault_kinds[FAULT_CRASH] += 1
             if self._faults_injected >= self._fault_budget:
                 self._send_fault_active = False
                 self._crash_fault_active = False
@@ -820,6 +867,8 @@ class BugFindingRuntime(RuntimeBase):
         worker = self._workers.get(machine.id)
         if worker is not None:
             worker.state = _DONE
+        if self._cov is not None:
+            self._cov.record_halt(type(machine))
         if self._monitors_attached:
             observers = self._observers_for(
                 EMachineHalted, self._send_observers, "observes"
@@ -828,12 +877,25 @@ class BugFindingRuntime(RuntimeBase):
                 self._deliver_to_monitors(observers, EMachineHalted(machine.id))
 
     def on_event_dequeued(self, machine: Machine, event: Event) -> None:
+        if self._cov is not None:
+            self._cov.record_dequeue(event)
         if self._monitors_attached:
             observers = self._observers_for(
                 type(event), self._dequeue_observers, "observes_dequeue"
             )
             if observers:
                 self._deliver_to_monitors(observers, event)
+
+    def on_state_entered(self, machine, old_info, event) -> None:
+        """Activity-coverage hook (see :mod:`repro.testing.coverage`).
+        Called from the machine's state-entry paths only while
+        ``_hook_state`` is armed, i.e. ``_cov`` is attached."""
+        self._cov.record_entry(
+            type(machine),
+            None if old_info is None else old_info.name,
+            event,
+            machine._current_state.name,
+        )
 
     # ------------------------------------------------------------------
     # Specification monitors
@@ -974,6 +1036,8 @@ class BugFindingRuntime(RuntimeBase):
         if inline and "_inline_ready" not in machine_cls.__dict__:
             compile_inline_machine(machine_cls)
         machine = self._instantiate(machine_cls, payload)
+        if self._cov is not None:
+            self._cov.record_machine(machine_cls)
         if inline:
             worker = self._workers[machine.id] = _InlineWorker(self, machine)
             self._worker_list.append(worker)
@@ -1178,6 +1242,7 @@ class BugFindingRuntime(RuntimeBase):
         schedulable = self._schedulable
         machines_get = self._machines.get
         monitors_attached = self._monitors_attached
+        cov = self._cov
         trace = self._trace
         trace_append = None if trace is None else trace.append
         mid = machine.id
@@ -1243,6 +1308,11 @@ class BugFindingRuntime(RuntimeBase):
                                     if observers:
                                         self._deliver_to_monitors(observers, event)
                                 target = machines_get(op[1])
+                                if cov is not None:
+                                    cov.record_send(
+                                        event,
+                                        target is None or target._halted,
+                                    )
                                 if target is not None and not target._halted:
                                     # Message-fault consultation point
                                     # (kept in sync with send()).
@@ -1277,6 +1347,7 @@ class BugFindingRuntime(RuntimeBase):
                                     trace_append(SCHED_TAG, choice.value)
                             else:
                                 choice = pick_machine(enabled, mid)
+                                self._consulted += 1
                                 if trace_append is not None:
                                     trace_append(SCHED_TAG, choice.value)
                                 if choice.value != mid_value:
@@ -1343,6 +1414,7 @@ class BugFindingRuntime(RuntimeBase):
         machines_get = self._machines.get
         hook_visible = self._hook_visible
         monitors_attached = self._monitors_attached
+        cov = self._cov
         trace = self._trace
         trace_append = None if trace is None else trace.append
         mid = worker.mid
@@ -1382,6 +1454,10 @@ class BugFindingRuntime(RuntimeBase):
                             if observers:
                                 self._deliver_to_monitors(observers, event)
                         machine = machines_get(op[1])
+                        if cov is not None:
+                            cov.record_send(
+                                event, machine is None or machine._halted
+                            )
                         if machine is not None and not machine._halted:
                             # Message-fault consultation point (kept in
                             # sync with send()).
@@ -1413,6 +1489,7 @@ class BugFindingRuntime(RuntimeBase):
                             trace_append(SCHED_TAG, choice.value)
                     else:
                         choice = pick_machine(enabled, mid)
+                        self._consulted += 1
                         if trace_append is not None:
                             trace_append(SCHED_TAG, choice.value)
                         if choice.value != mid_value:
@@ -1450,6 +1527,7 @@ class BugFindingRuntime(RuntimeBase):
             self.strategy.observe_forced(choice)
         else:
             choice = self.strategy.pick_machine(enabled, worker.mid)
+            self._consulted += 1
         if self._trace is not None:
             self._trace.append(SCHED_TAG, choice.value)
         return choice
@@ -1513,6 +1591,7 @@ class BugFindingRuntime(RuntimeBase):
                 trace.append(SCHED_TAG, choice.value)
             return  # the only enabled machine is the running one
         choice = self.strategy.pick_machine(enabled, current)
+        self._consulted += 1
         if trace is not None:
             trace.append(SCHED_TAG, choice.value)
         if choice == current:
@@ -1547,6 +1626,7 @@ class BugFindingRuntime(RuntimeBase):
             self.strategy.observe_forced(choice)
         else:
             choice = self.strategy.pick_machine(enabled, worker.machine.id)
+            self._consulted += 1
         if self._trace is not None:
             self._trace.append(SCHED_TAG, choice.value)
         self._workers[choice].signal.release()

@@ -1,0 +1,305 @@
+"""Campaign telemetry: counters, histograms, and a JSONL event stream.
+
+Coverage (:mod:`repro.testing.coverage`) answers *what the schedules
+explored*; this module answers *how the campaign ran* — the shape of the
+iterations (steps per schedule, wall time per schedule, schedules/sec
+over the campaign's lifetime), how often faults fired and of what kind,
+and how much of the scheduling was an actual strategy decision versus a
+forced single-choice step.  Stats are picklable and merge associatively,
+so they ride on :class:`~repro.testing.engine.TestReport` across
+portfolio shards and checkpoint resume exactly like coverage does.
+
+:class:`EventLog` is the second half: an append-only JSONL stream
+(``--events FILE`` / ``TestConfig.events_path``) of structured campaign
+events — campaign/shard/iteration spans, worker heartbeats and
+respawns, watchdog hits, checkpoint writes.  Each event is one JSON
+object per line with at least ``ts`` (epoch seconds), ``pid`` and
+``type``; portfolio workers append to the same file from multiple
+processes, which is safe because each event is a single short
+``write()`` of a complete line on a file opened in append mode.  This
+is the wire format a future ``repro serve`` fleet will stream instead
+of writing to disk.  Emission failures are swallowed: observability
+must never kill a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Histogram", "TelemetryStats", "EventLog"]
+
+
+class Histogram:
+    """Power-of-two-bucketed counting histogram of non-negative values.
+
+    Bucket ``i`` holds values in ``[2**(i-1), 2**i)`` (bucket 0 holds
+    zero), which keeps the merge trivially associative and the pickle
+    tiny regardless of how many samples a campaign records.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: float) -> None:
+        value = int(value)
+        if value < 0:
+            value = 0
+        bucket = value.bit_length()
+        buckets = self.buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        buckets = self.buckets
+        for bucket, count in other.buckets.items():
+            buckets[bucket] = buckets.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def copy(self) -> "Histogram":
+        clone = Histogram()
+        clone.buckets = dict(self.buckets)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    __hash__ = None  # mutable
+
+    def rows(self) -> List[str]:
+        """Human-readable bucket rows (largest first capped implicitly by
+        the power-of-two bucketing)."""
+        if not self.count:
+            return ["  (no samples)"]
+        out = []
+        for bucket in sorted(self.buckets):
+            low = 0 if bucket == 0 else 1 << (bucket - 1)
+            high = (1 << bucket) - 1 if bucket else 0
+            label = f"{low}" if low == high else f"{low}-{high}"
+            out.append(f"  {label:>15}: {self.buckets[bucket]}")
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 2),
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class TelemetryStats:
+    """Mergeable per-campaign execution-shape statistics.
+
+    * ``steps`` — histogram of scheduling steps per iteration;
+    * ``iteration_us`` — histogram of per-iteration wall time (µs);
+    * ``rate`` — iterations completed per whole second since the shard
+      started (``{second_offset: iterations}``), i.e. schedules/sec over
+      time, mergeable across shards because offsets are relative;
+    * ``fault_kinds`` — injected faults by outcome name (``drop``,
+      ``duplicate``, ``delay``, ``crash``);
+    * ``consulted`` / ``forced`` — scheduling points where the strategy
+      actually chose between ≥1 enabled machines versus points with a
+      single forced continuation (the consult ratio says how much
+      search-space a strategy is really exercising).
+    """
+
+    __slots__ = (
+        "iterations",
+        "steps",
+        "iteration_us",
+        "rate",
+        "fault_kinds",
+        "consulted",
+        "forced",
+    )
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.steps = Histogram()
+        self.iteration_us = Histogram()
+        self.rate: Dict[int, int] = {}
+        self.fault_kinds: Dict[str, int] = {}
+        self.consulted = 0
+        self.forced = 0
+
+    def record_iteration(
+        self,
+        *,
+        steps: int,
+        scheduling_points: int,
+        wall_seconds: float,
+        since_start: float,
+        consulted: int,
+        fault_kinds: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.iterations += 1
+        self.steps.record(steps)
+        self.iteration_us.record(wall_seconds * 1e6)
+        second = int(since_start)
+        self.rate[second] = self.rate.get(second, 0) + 1
+        self.consulted += consulted
+        self.forced += max(0, scheduling_points - consulted)
+        if fault_kinds:
+            kinds = self.fault_kinds
+            for name, count in fault_kinds.items():
+                if count:
+                    kinds[name] = kinds.get(name, 0) + count
+
+    @property
+    def consult_ratio(self) -> float:
+        decisions = self.consulted + self.forced
+        return self.consulted / decisions if decisions else 0.0
+
+    def merge(self, other: "TelemetryStats") -> "TelemetryStats":
+        self.iterations += other.iterations
+        self.steps.merge(other.steps)
+        self.iteration_us.merge(other.iteration_us)
+        rate = self.rate
+        for second, count in other.rate.items():
+            rate[second] = rate.get(second, 0) + count
+        kinds = self.fault_kinds
+        for name, count in other.fault_kinds.items():
+            kinds[name] = kinds.get(name, 0) + count
+        self.consulted += other.consulted
+        self.forced += other.forced
+        return self
+
+    def copy(self) -> "TelemetryStats":
+        clone = TelemetryStats()
+        clone.iterations = self.iterations
+        clone.steps = self.steps.copy()
+        clone.iteration_us = self.iteration_us.copy()
+        clone.rate = dict(self.rate)
+        clone.fault_kinds = dict(self.fault_kinds)
+        clone.consulted = self.consulted
+        clone.forced = self.forced
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TelemetryStats):
+            return NotImplemented
+        return (
+            self.iterations == other.iterations
+            and self.steps == other.steps
+            and self.iteration_us == other.iteration_us
+            and self.rate == other.rate
+            and self.fault_kinds == other.fault_kinds
+            and self.consulted == other.consulted
+            and self.forced == other.forced
+        )
+
+    __hash__ = None  # mutable
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"iterations: {self.iterations}, "
+            f"steps/iter mean {self.steps.mean:.0f} "
+            f"(min {self.steps.min or 0}, max {self.steps.max or 0}), "
+            f"iter wall mean {self.iteration_us.mean / 1000:.2f}ms",
+            f"strategy decisions: {self.consulted} consulted, "
+            f"{self.forced} forced "
+            f"({self.consult_ratio * 100:.0f}% consulted)",
+        ]
+        if self.fault_kinds:
+            kinds = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.fault_kinds.items())
+            )
+            lines.append(f"faults injected: {kinds}")
+        return lines
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "steps_per_iteration": self.steps.to_json(),
+            "iteration_wall_us": self.iteration_us.to_json(),
+            "schedules_per_second": {
+                str(k): v for k, v in sorted(self.rate.items())
+            },
+            "fault_kinds": dict(sorted(self.fault_kinds.items())),
+            "decisions": {
+                "consulted": self.consulted,
+                "forced": self.forced,
+                "consult_ratio": round(self.consult_ratio, 4),
+            },
+        }
+
+
+class EventLog:
+    """Append-only JSONL stream of structured campaign events.
+
+    Multi-process safe by construction: each emit is a single ``write``
+    of one complete newline-terminated line on an append-mode file
+    descriptor, which POSIX keeps atomic for lines shorter than
+    ``PIPE_BUF``.  Never raises from :meth:`emit` — a full disk or a
+    vanished file must not take the campaign down with it.
+    """
+
+    def __init__(self, path: str, *, shard: Optional[int] = None) -> None:
+        self.path = os.fspath(path)
+        self.shard = shard
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, type_: str, **fields: object) -> None:
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "pid": os.getpid(),
+            "type": type_,
+        }
+        if self.shard is not None:
+            record["shard"] = self.shard
+        record.update(fields)
+        try:
+            self._fh.write(json.dumps(record, default=str) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):
+            pass  # observability must never kill a campaign
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
