@@ -84,6 +84,7 @@ from .testing import (
     make_strategy,
     register_strategy,
     replay,
+    run_fleet,
     run_portfolio,
 )
 
@@ -114,6 +115,7 @@ __all__ = [
     "TestingEngine",
     "TestReport",
     "run_portfolio",
+    "run_fleet",
     "PortfolioEngine",
     "StrategySpec",
     "default_portfolio",

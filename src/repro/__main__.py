@@ -9,13 +9,31 @@ logic of its own.
 Subcommands
 -----------
 
-``test TARGET``
+``test TARGET`` / ``test --config FILE``
     Run a bug-finding campaign.  ``TARGET`` is a benchmark-registry name
     or table alias (``Raft``, ``2PhaseCommit`` — the seeded buggy
     variant, registry monitors attached) or a ``module:Class`` import
     path.  ``--strategy name,kw=v`` picks the scheduler (repeat it, or
     pass ``--portfolio N``, for a multi-process portfolio campaign);
     ``--save-trace FILE`` writes the winning schedule for later replay.
+    ``--config FILE`` runs a campaign file instead
+    (:meth:`TestConfig.save`'s versioned JSON) — the same artifact
+    ``serve`` ships to fleet workers.
+
+``serve --config FILE``
+    Coordinate a distributed campaign fleet: shard the campaign across
+    local stdio workers (``--workers N``) and/or TCP workers accepted on
+    ``--port`` (``python -m repro worker`` / ``submit``), merge their
+    reports, checkpoint progress.  See docs/protocol.md.
+
+``worker (--stdio | --host H --port P)``
+    One fleet worker process: handshake with a coordinator, run shards
+    until told to shut down.  ``serve --workers`` spawns these itself;
+    remote hosts run them explicitly (usually via ``submit``).
+
+``submit --host H --port P --workers N``
+    Attach N worker processes to a running coordinator and wait for the
+    campaign to release them.
 
 ``replay TARGET --trace FILE``
     Deterministically re-execute a schedule recorded by ``test
@@ -128,7 +146,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     test.add_argument(
         "target",
-        help="benchmark name/alias (e.g. Raft, 2PhaseCommit) or module:Class",
+        nargs="?",
+        help="benchmark name/alias (e.g. Raft, 2PhaseCommit) or "
+        "module:Class; omit when passing --config",
+    )
+    test.add_argument(
+        "--config", metavar="FILE",
+        help="run a campaign file (TestConfig JSON, see docs/cli.md) "
+        "instead of a TARGET; only --seed, --portfolio, --expect-bug, "
+        "--save-trace, --checkpoint/--resume and the observability "
+        "flags may be combined with it",
     )
     test.add_argument(
         "--strategy", action="append", metavar="NAME[,KW=V...]",
@@ -243,6 +270,84 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a Graphviz digraph of the explored state space to "
         "FILE ('-' for stdout)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="coordinate a distributed campaign fleet (docs/protocol.md)",
+    )
+    serve.add_argument(
+        "--config", required=True, metavar="FILE",
+        help="campaign file (TestConfig JSON) to shard across the fleet",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to accept TCP workers on (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, metavar="PORT",
+        help="TCP port to accept workers on (0 = ephemeral, printed on "
+        "stdout); omit to run on local --workers only",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="spawn N local stdio worker processes (default: 0)",
+    )
+    serve.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="persist completed shards to FILE as they land",
+    )
+    serve.add_argument(
+        "--resume", metavar="FILE",
+        help="resume a killed fleet campaign from its checkpoint",
+    )
+    serve.add_argument(
+        "--events", metavar="FILE",
+        help="append the fleet's JSONL event stream (worker lifecycle, "
+        "shard assignment/requeue, forwarded worker telemetry) to FILE; "
+        "overrides the campaign file's events_path",
+    )
+    serve.add_argument(
+        "--expect-bug", action="store_true",
+        help="exit 1 unless the fleet campaign found a bug (CI gating)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run one fleet worker process (docs/protocol.md)"
+    )
+    worker.add_argument(
+        "--stdio", action="store_true",
+        help="speak the protocol over stdin/stdout (how 'serve --workers' "
+        "runs its local workers)",
+    )
+    worker.add_argument(
+        "--host", help="coordinator host to connect to over TCP"
+    )
+    worker.add_argument(
+        "--port", type=int, metavar="PORT", help="coordinator port"
+    )
+    worker.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="keep retrying the TCP connection this long (default: 10)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="attach local worker processes to a coordinator"
+    )
+    submit.add_argument(
+        "--host", default="127.0.0.1", help="coordinator host"
+    )
+    submit.add_argument(
+        "--port", type=int, required=True, metavar="PORT",
+        help="coordinator port",
+    )
+    submit.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes to attach (default: 1)",
+    )
+    submit.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-worker connection retry budget (default: 10)",
+    )
     return parser
 
 
@@ -266,12 +371,45 @@ def _report_lines(report) -> List[str]:
 
 
 def _cmd_test(args: argparse.Namespace) -> int:
+    if (args.target is None) == (args.config is None):
+        raise PSharpError("pass exactly one of TARGET or --config FILE")
     specs = [StrategySpec.parse(text) for text in args.strategy or []]
     if args.portfolio is not None and specs:
         raise PSharpError(
             "pass either --portfolio N (the default mix) or repeated "
             "--strategy entries (an explicit mix), not both"
         )
+    if args.config is not None:
+        if specs:
+            raise PSharpError(
+                "--strategy cannot be combined with --config; put the "
+                "mix in the campaign file's 'specs' field instead"
+            )
+        config = TestConfig.load(args.config)
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.portfolio is not None:
+            overrides["portfolio_workers"] = args.portfolio
+        if args.coverage or args.coverage_report is not None:
+            overrides["coverage"] = True
+        if args.events is not None:
+            overrides["events_path"] = args.events
+        if overrides:
+            config = config.with_overrides(**overrides)
+        portfolio = (
+            args.portfolio is not None
+            or config.specs is not None
+            or args.checkpoint is not None
+            or args.resume is not None
+        )
+        campaign = Campaign(config)
+        report = (
+            campaign.portfolio(checkpoint=args.checkpoint, resume=args.resume)
+            if portfolio
+            else campaign.run()
+        )
+        return _finish_test(args, report)
     # Checkpoint/resume are portfolio-campaign features: asking for them
     # promotes a single-strategy invocation to a 1-shard portfolio.
     portfolio = (
@@ -310,6 +448,12 @@ def _cmd_test(args: argparse.Namespace) -> int:
         if portfolio
         else campaign.run()
     )
+    return _finish_test(args, report)
+
+
+def _finish_test(args: argparse.Namespace, report) -> int:
+    """Shared `test` epilogue: print the report, save artifacts, map the
+    outcome to the exit-code convention."""
     for line in _report_lines(report):
         print(line)
     if report.coverage is not None:
@@ -431,6 +575,94 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .testing.fleet import run_fleet
+
+    if args.port is None and args.workers <= 0:
+        raise PSharpError(
+            "serve needs at least one worker source: --port to accept TCP "
+            "workers, and/or --workers N local processes"
+        )
+    config = TestConfig.load(args.config)
+    if args.events is not None:
+        config = config.with_overrides(events_path=args.events)
+
+    def on_listen(host: str, port: int) -> None:
+        print(f"fleet: listening on {host}:{port}", flush=True)
+
+    report = run_fleet(
+        config,
+        host=args.host,
+        port=args.port,
+        local_workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        on_listen=on_listen,
+    )
+    for line in _report_lines(report):
+        print(line)
+    if report.coverage is not None:
+        from .testing.reporting import coverage_table
+
+        for line in coverage_table(report.coverage):
+            print(line)
+    if report.interrupted:
+        return 130
+    if args.expect_bug and not report.bug_found:
+        return 1
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .testing.fleet import Connection, connect_worker, worker_loop
+
+    if args.stdio == (args.host is not None):
+        raise PSharpError("pass exactly one of --stdio or --host/--port")
+    if args.stdio:
+        # stdout is the protocol channel: keep its raw fd for frames and
+        # point fd 1 at stderr so any stray print() cannot corrupt it.
+        wire_out = os.dup(sys.stdout.fileno())
+        os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+        conn = Connection(sys.stdin.fileno(), wire_out, label="stdio")
+    else:
+        if args.port is None:
+            raise PSharpError("--host needs --port")
+        conn = connect_worker(
+            args.host, args.port, connect_timeout=args.connect_timeout
+        )
+    try:
+        completed = worker_loop(conn)
+    finally:
+        conn.close()
+    print(f"worker: {completed} shard(s) completed", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import subprocess
+
+    from .testing.fleet import worker_environment
+
+    if args.workers < 1:
+        raise PSharpError("submit needs --workers >= 1")
+    command = [
+        sys.executable, "-m", "repro", "worker",
+        "--host", args.host, "--port", str(args.port),
+        "--connect-timeout", str(args.connect_timeout),
+    ]
+    procs = [
+        subprocess.Popen(command, env=worker_environment())
+        for _ in range(args.workers)
+    ]
+    failures = sum(1 for proc in procs if proc.wait() != 0)
+    print(
+        f"submit: {len(procs) - failures}/{len(procs)} worker(s) "
+        "completed cleanly",
+        file=sys.stderr,
+    )
+    return 2 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
@@ -438,6 +670,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "bench": _cmd_bench,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "worker": _cmd_worker,
+        "submit": _cmd_submit,
     }[args.command]
     try:
         return handler(args)

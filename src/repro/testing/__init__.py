@@ -14,7 +14,16 @@ from .portfolio import (
     run_portfolio,
     strategy_names,
 )
-from .config import Campaign, TestConfig
+from .config import CONFIG_SCHEMA_VERSION, Campaign, TestConfig
+from .fleet import (
+    PROTOCOL_VERSION,
+    Connection,
+    ConnectionClosed,
+    ProtocolError,
+    connect_worker,
+    run_fleet,
+    worker_loop,
+)
 from .reporting import (
     coverage_dot,
     coverage_table,
@@ -43,8 +52,16 @@ from .trace import ScheduleTrace
 
 __all__ = [
     "TestConfig",
+    "CONFIG_SCHEMA_VERSION",
     "Campaign",
     "FaultConfig",
+    "run_fleet",
+    "worker_loop",
+    "connect_worker",
+    "Connection",
+    "ProtocolError",
+    "ConnectionClosed",
+    "PROTOCOL_VERSION",
     "load_checkpoint",
     "save_checkpoint",
     "CoverageMap",

@@ -1,9 +1,11 @@
 """Campaign checkpoint/resume: crash-resilient long-running campaigns.
 
-A portfolio campaign (:func:`repro.testing.portfolio.run_portfolio`) can
-periodically persist its progress — the detached
+A sharded campaign — the local portfolio
+(:func:`repro.testing.portfolio.run_portfolio`) or the distributed fleet
+coordinator (:func:`repro.testing.fleet.run_fleet`), which share this
+module verbatim — can periodically persist its progress: the detached
 :class:`~repro.testing.engine.TestReport` of every *completed* shard plus
-the materialized strategy mix — to a checkpoint file.  If the campaign is
+the materialized strategy mix, written to a checkpoint file.  If the campaign is
 killed (SIGINT, OOM, machine reboot), ``python -m repro test --resume
 FILE`` (or ``Campaign.portfolio(resume=...)``) restarts it: shards whose
 final reports were checkpointed are not re-run; only the shards that were

@@ -32,8 +32,11 @@ inline speedup without opting in.
 from __future__ import annotations
 
 import dataclasses
+import importlib
+import json
+import os
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple, Type, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Type, Union
 
 from ..core.machine import Machine
 from ..errors import PSharpError
@@ -86,6 +89,143 @@ def _fold_seed(spec: StrategySpec, seed: Optional[int]) -> StrategySpec:
     if seed is not None and spec.name in _SEEDED and "seed" not in spec.params:
         return StrategySpec(spec.name, {**spec.params, "seed": seed})
     return spec
+
+
+# ----------------------------------------------------------------------
+# Campaign JSON: the versioned on-disk / on-wire schema (docs/protocol.md
+# §"config" and docs/cli.md "Campaign files").  A campaign is one
+# shippable artifact: ``config.save("campaign.json")`` then
+# ``python -m repro test --config campaign.json`` (or ``serve``, which
+# streams the same object to every fleet worker in its welcome message).
+
+#: Bumped whenever the campaign JSON schema changes incompatibly; a
+#: reader only accepts files carrying exactly the version it speaks.
+CONFIG_SCHEMA_VERSION = 1
+
+#: Every field a version-1 campaign file may carry besides ``version``.
+#: ``runtime_factory`` is deliberately absent: factories are live code,
+#: not data, and a config carrying one refuses to serialize.
+_JSON_FIELDS = (
+    "program",
+    "payload",
+    "strategy",
+    "specs",
+    "seed",
+    "max_iterations",
+    "time_limit",
+    "max_steps",
+    "stop_on_first_bug",
+    "livelock_as_bug",
+    "record_traces",
+    "workers",
+    "monitors",
+    "max_hot_steps",
+    "portfolio_workers",
+    "start_method",
+    "faults",
+    "iteration_timeout",
+    "coverage",
+    "events_path",
+)
+
+_FAULT_JSON_FIELDS = (
+    "drop",
+    "duplicate",
+    "delay",
+    "crash",
+    "persistent_state",
+    "max_faults",
+    "crash_classes",
+)
+
+
+def _class_path(cls: type, what: str) -> str:
+    """``cls`` as the importable ``"module:qualname"`` path campaign JSON
+    stores classes by — refused loudly when the name would not resolve
+    from another process (``__main__`` classes, closures)."""
+    path = f"{cls.__module__}:{cls.__qualname__}"
+    if cls.__module__ == "__main__" or "<locals>" in cls.__qualname__:
+        raise PSharpError(
+            f"{what} {path!r} cannot be serialized to campaign JSON: the "
+            "name is not importable from another process (define it in a "
+            "module, not __main__ or a function body)"
+        )
+    return path
+
+
+def _import_class(path: Any, what: str) -> type:
+    """Resolve a campaign-JSON ``"module:Class"`` reference, loudly."""
+    module_name, sep, qualname = str(path).partition(":")
+    if not sep or not module_name or not qualname:
+        raise PSharpError(
+            f"{what} {path!r} in campaign JSON must be an importable "
+            "'module:Class' path"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise PSharpError(f"cannot import {what} {path!r}: {exc}") from exc
+    obj: Any = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            raise PSharpError(
+                f"cannot import {what} {path!r}: module {module_name!r} "
+                f"has no attribute {qualname!r}"
+            )
+    if not isinstance(obj, type):
+        raise PSharpError(f"{what} {path!r} resolved to {obj!r}, not a class")
+    return obj
+
+
+def _json_value(name: str, value: Any) -> Any:
+    """``value`` if it survives JSON encoding; a loud error otherwise —
+    campaign files carry plain data, never pickles."""
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise PSharpError(
+            f"TestConfig.{name} is not JSON-serializable ({exc}); campaign "
+            "JSON carries plain data only"
+        ) from exc
+    return value
+
+
+def _spec_to_obj(spec: StrategySpec) -> Dict[str, Any]:
+    return {
+        "name": spec.name,
+        "params": _json_value(f"strategy {spec.label()!r} params", dict(spec.params)),
+    }
+
+
+def _spec_from_obj(value: Any, where: str) -> StrategySpec:
+    """A strategy entry from campaign JSON: either the CLI spelling
+    (``"pct,depth=10"``) or the canonical ``{"name", "params"}`` object."""
+    if isinstance(value, str):
+        return StrategySpec.parse(value)
+    if isinstance(value, dict):
+        unknown = sorted(set(value) - {"name", "params"})
+        if unknown:
+            raise PSharpError(
+                f"unknown field(s) in campaign JSON {where}: "
+                + ", ".join(repr(f) for f in unknown)
+                + "; a strategy object carries only 'name' and 'params'"
+            )
+        if "name" not in value or not isinstance(value["name"], str):
+            raise PSharpError(
+                f"campaign JSON {where} must carry a string 'name'"
+            )
+        params = value.get("params") or {}
+        if not isinstance(params, dict):
+            raise PSharpError(
+                f"campaign JSON {where} 'params' must be an object, "
+                f"got {params!r}"
+            )
+        return StrategySpec(value["name"], dict(params))
+    raise PSharpError(
+        f"campaign JSON {where} must be a 'name,key=value' string or a "
+        f"{{'name', 'params'}} object, got {value!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -274,6 +414,184 @@ class TestConfig:
     def build_strategy(self) -> SchedulingStrategy:
         """Construct the single-strategy campaign's scheduler."""
         return make_strategy(self.strategy_spec())
+
+    # -- campaign JSON (versioned schema, see CONFIG_SCHEMA_VERSION) ----
+    def to_json_obj(self) -> Dict[str, Any]:
+        """This config as the version-``CONFIG_SCHEMA_VERSION`` campaign
+        JSON object — plain data only (classes become ``"module:Class"``
+        paths; a ``runtime_factory`` refuses loudly).
+
+        Note JSON has no tuples: a tuple payload comes back as a list."""
+        if self.runtime_factory is not None:
+            raise PSharpError(
+                "a TestConfig with a runtime_factory cannot be serialized "
+                "to campaign JSON: factories are live code, not data"
+            )
+        program = (
+            self.program
+            if isinstance(self.program, str)
+            else _class_path(self.program, "program")
+        )
+        faults = None
+        if self.faults is not None:
+            faults = {
+                "drop": self.faults.drop,
+                "duplicate": self.faults.duplicate,
+                "delay": self.faults.delay,
+                "crash": self.faults.crash,
+                "persistent_state": self.faults.persistent_state,
+                "max_faults": self.faults.max_faults,
+                "crash_classes": [
+                    _class_path(cls, "crash_classes entry")
+                    for cls in self.faults.crash_classes
+                ],
+            }
+        return {
+            "version": CONFIG_SCHEMA_VERSION,
+            "program": program,
+            "payload": _json_value("payload", self.payload),
+            "strategy": _spec_to_obj(self.strategy),
+            "specs": (
+                [_spec_to_obj(spec) for spec in self.specs]
+                if self.specs is not None
+                else None
+            ),
+            "seed": self.seed,
+            "max_iterations": self.max_iterations,
+            "time_limit": self.time_limit,
+            "max_steps": self.max_steps,
+            "stop_on_first_bug": self.stop_on_first_bug,
+            "livelock_as_bug": self.livelock_as_bug,
+            "record_traces": self.record_traces,
+            "workers": self.workers,
+            "monitors": [_class_path(m, "monitor") for m in self.monitors],
+            "max_hot_steps": self.max_hot_steps,
+            "portfolio_workers": self.portfolio_workers,
+            "start_method": self.start_method,
+            "faults": faults,
+            "iteration_timeout": self.iteration_timeout,
+            "coverage": self.coverage,
+            "events_path": self.events_path,
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_json_obj` rendered as an indented JSON document."""
+        return json.dumps(self.to_json_obj(), indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, "os.PathLike"]) -> None:
+        """Write the campaign JSON document to ``path``."""
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_json_obj(cls, obj: Any) -> "TestConfig":
+        """A validated config from a campaign JSON object.
+
+        Loud on anything off-schema: a missing or foreign ``version``,
+        unknown fields (typos never silently become defaults), malformed
+        strategy/fault entries, unimportable class paths."""
+        if not isinstance(obj, dict):
+            raise PSharpError(
+                f"campaign JSON must be an object, got {type(obj).__name__}"
+            )
+        version = obj.get("version")
+        if version is None:
+            raise PSharpError(
+                "campaign JSON carries no 'version' field; this build "
+                f"reads (and writes) version {CONFIG_SCHEMA_VERSION}"
+            )
+        if version != CONFIG_SCHEMA_VERSION:
+            raise PSharpError(
+                f"campaign JSON is schema version {version!r}; this build "
+                f"reads version {CONFIG_SCHEMA_VERSION}"
+            )
+        unknown = sorted(set(obj) - {"version", *_JSON_FIELDS})
+        if unknown:
+            raise PSharpError(
+                "unknown field(s) in campaign JSON: "
+                + ", ".join(repr(f) for f in unknown)
+                + "; known fields: version, "
+                + ", ".join(_JSON_FIELDS)
+            )
+        if "program" not in obj:
+            raise PSharpError("campaign JSON must name a 'program'")
+        kwargs: Dict[str, Any] = {
+            key: obj[key] for key in _JSON_FIELDS if key in obj
+        }
+        if kwargs.get("strategy") is not None:
+            kwargs["strategy"] = _spec_from_obj(kwargs["strategy"], "'strategy'")
+        if kwargs.get("specs") is not None:
+            if not isinstance(kwargs["specs"], list):
+                raise PSharpError(
+                    "campaign JSON 'specs' must be a list (or null), got "
+                    f"{kwargs['specs']!r}"
+                )
+            kwargs["specs"] = tuple(
+                _spec_from_obj(entry, f"'specs[{index}]'")
+                for index, entry in enumerate(kwargs["specs"])
+            )
+        if kwargs.get("monitors"):
+            if not isinstance(kwargs["monitors"], list):
+                raise PSharpError(
+                    "campaign JSON 'monitors' must be a list of "
+                    f"'module:Class' paths, got {kwargs['monitors']!r}"
+                )
+            kwargs["monitors"] = tuple(
+                _import_class(path, "monitor") for path in kwargs["monitors"]
+            )
+        if kwargs.get("faults") is not None:
+            fobj = kwargs["faults"]
+            if not isinstance(fobj, dict):
+                raise PSharpError(
+                    f"campaign JSON 'faults' must be an object, got {fobj!r}"
+                )
+            unknown = sorted(set(fobj) - set(_FAULT_JSON_FIELDS))
+            if unknown:
+                raise PSharpError(
+                    "unknown field(s) in campaign JSON 'faults': "
+                    + ", ".join(repr(f) for f in unknown)
+                    + "; known fields: " + ", ".join(_FAULT_JSON_FIELDS)
+                )
+            fkwargs = dict(fobj)
+            if fkwargs.get("crash_classes"):
+                fkwargs["crash_classes"] = tuple(
+                    _import_class(path, "crash_classes entry")
+                    for path in fkwargs["crash_classes"]
+                )
+            try:
+                kwargs["faults"] = FaultConfig(**fkwargs)
+            except (TypeError, ValueError) as exc:
+                raise PSharpError(
+                    f"invalid 'faults' in campaign JSON: {exc}"
+                ) from exc
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            # e.g. a string where __post_init__'s range checks expect a
+            # number — surface it as the usual loud config error.
+            raise PSharpError(f"invalid campaign JSON: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "TestConfig":
+        """A validated config from a campaign JSON document."""
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PSharpError(f"campaign JSON does not parse: {exc}") from exc
+        return cls.from_json_obj(obj)
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike"]) -> "TestConfig":
+        """Read and validate the campaign JSON file at ``path``."""
+        try:
+            with open(os.fspath(path), "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise PSharpError(f"cannot read campaign file: {exc}") from exc
+        try:
+            return cls.from_json(text)
+        except PSharpError as exc:
+            raise PSharpError(f"{path}: {exc}") from exc
 
 
 class Campaign:

@@ -1,0 +1,1013 @@
+"""Distributed campaign fleet: one campaign sharded across processes and hosts.
+
+The paper's tester wins by throwing many diverse schedulers at one
+program; :mod:`repro.testing.portfolio` already shards a campaign across
+local processes.  This module is the same campaign shape stretched over
+a wire: a **coordinator** (``python -m repro serve --config
+campaign.json``) streams work units — shard index ×
+:class:`~repro.testing.portfolio.StrategySpec` — to **workers**
+(``python -m repro worker`` / ``submit --host``) over a length-prefixed
+JSON protocol that runs identically over TCP sockets and stdio pipes.
+
+The wire format is specified normatively in ``docs/protocol.md``; the
+tests cite its section numbers.  The load-bearing choices:
+
+* **One framing, two transports.**  :class:`Connection` speaks 4-byte
+  big-endian length-prefixed UTF-8 JSON frames over a pair of raw file
+  descriptors, polled with ``select``.  A TCP socket and a
+  stdin/stdout pipe pair look identical above that line, so every
+  coordinator feature (requeue, cancel, heartbeats, telemetry
+  forwarding) is tested once and works for both.
+* **Warm workers, batched specs.**  A worker process handshakes once,
+  then runs *many* shards back to back — each shard constructs a fresh
+  strategy from its picklable spec, so there is no fork per spec and no
+  state bleed between shards (protocol §5).
+* **Results are detached reports.**  A finished shard comes back as a
+  base64-pickled *detached* :class:`~repro.testing.engine.TestReport`
+  inside a JSON frame; the coordinator folds shards with the same
+  :func:`~repro.testing.portfolio.merge_shard_reports` path as the
+  local portfolio, so distinct-bug dedup by
+  :meth:`~repro.testing.trace.ScheduleTrace.fingerprint` has a single
+  definition.  Pickle implies trust: run fleets only among mutually
+  trusted hosts (protocol §8).
+* **Failure is requeue, not loss.**  A worker that disconnects or goes
+  silent mid-shard has its shard re-queued (bounded times, then
+  abandoned as an empty shard so the merge stays honest); the
+  coordinator checkpoints completed shards with the same
+  :mod:`repro.testing.checkpoint` files as the local portfolio, so a
+  killed ``serve`` resumes with ``--resume`` skipping finished shards.
+"""
+
+from __future__ import annotations
+
+import base64
+import collections
+import json
+import os
+import pickle
+import select
+import socket
+import struct
+import subprocess
+import sys
+import time
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # circular at runtime: config is the layer above
+    from .config import TestConfig
+
+from ..errors import PSharpError
+from .checkpoint import (
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from .engine import TestReport, drive
+from .portfolio import (
+    DEFAULT_GRACE,
+    StrategySpec,
+    make_strategy,
+    merge_shard_reports,
+)
+from .telemetry import EventLog
+
+# ---------------------------------------------------------------------------
+# Protocol constants (docs/protocol.md §2–§3)
+# ---------------------------------------------------------------------------
+#: Bumped on any incompatible wire change; the handshake rejects peers
+#: speaking any other version (§3).
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's payload; a larger announced length is a
+#: protocol violation, not an allocation request (§2).
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Seconds a peer gets to complete the hello/welcome handshake (§3).
+HANDSHAKE_TIMEOUT = 10.0
+
+#: Seconds between a busy worker's heartbeat frames (§6).
+HEARTBEAT_INTERVAL = 1.0
+
+#: Seconds a *busy* worker may go silent before the coordinator declares
+#: it lost and re-queues its shard (§6).  Idle workers are exempt — they
+#: sit quietly in recv() until work arrives.
+DEFAULT_WORKER_TIMEOUT = 30.0
+
+#: Times one shard is re-queued after worker loss before being abandoned.
+DEFAULT_MAX_REQUEUES = 2
+
+#: Times one local stdio worker slot is respawned after its process dies.
+DEFAULT_MAX_RESPAWNS = 2
+
+
+class ProtocolError(PSharpError):
+    """A peer violated the wire protocol (bad frame, bad message, bad
+    handshake).  The offending connection is dropped; the campaign
+    continues."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer went away (EOF or a dead pipe/socket)."""
+
+
+# ---------------------------------------------------------------------------
+# Framing (§2): 4-byte big-endian length prefix + UTF-8 JSON object
+# ---------------------------------------------------------------------------
+def _encode_frame(message: Dict[str, Any]) -> bytes:
+    payload = json.dumps(message, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    )
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"outgoing {message.get('type', '?')!r} frame of {len(payload)} "
+            f"bytes exceeds the {MAX_FRAME}-byte limit"
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+class Connection:
+    """One framed-message peer over a pair of raw file descriptors.
+
+    Works identically for a TCP socket (both fds are the socket's) and a
+    pipe pair (a local worker's stdout/stdin) — reads go through
+    ``select`` + ``os.read`` with an internal reassembly buffer, so
+    partial frames, coalesced frames and timeouts behave the same on
+    both transports.  Single-threaded use only; the fleet never shares a
+    connection across threads.
+    """
+
+    def __init__(
+        self,
+        read_fd: int,
+        write_fd: int,
+        *,
+        sock: Optional[socket.socket] = None,
+        files: Optional[Tuple[Any, ...]] = None,
+        label: str = "",
+    ) -> None:
+        self._read_fd = read_fd
+        self._write_fd = write_fd
+        self._sock = sock  # kept alive (and closed) with the connection
+        # File objects that OWN the fds (e.g. a Popen's stdin/stdout).
+        # close() must go through them, never os.close() the raw
+        # numbers: a raw double-close races fd reuse and can tear down
+        # an unrelated socket that inherited the number.
+        self._files = files
+        self._buffer = bytearray()
+        self.label = label or f"fd{read_fd}"
+        self.closed = False
+
+    @classmethod
+    def from_socket(cls, sock: socket.socket, label: str = "") -> "Connection":
+        sock.setblocking(True)  # reads are select-gated, writes may block
+        fd = sock.fileno()
+        return cls(fd, fd, sock=sock, label=label)
+
+    def fileno(self) -> int:
+        return self._read_fd
+
+    # -- sending -------------------------------------------------------
+    def send(self, message: Dict[str, Any]) -> None:
+        """Write one frame; raises :class:`ConnectionClosed` when the
+        peer is gone (EPIPE/ECONNRESET)."""
+        if self.closed:
+            raise ConnectionClosed(f"connection to {self.label} is closed")
+        view = memoryview(_encode_frame(message))
+        while view:
+            try:
+                written = os.write(self._write_fd, view)
+            except OSError as exc:
+                raise ConnectionClosed(
+                    f"peer {self.label} went away mid-send: {exc}"
+                ) from exc
+            view = view[written:]
+
+    # -- receiving -----------------------------------------------------
+    def _parse_frame(self) -> Optional[Dict[str, Any]]:
+        """Pop one complete frame off the buffer, or ``None``."""
+        if len(self._buffer) < 4:
+            return None
+        (length,) = struct.unpack_from(">I", self._buffer)
+        if length > MAX_FRAME:
+            raise ProtocolError(
+                f"frame of {length} bytes announced by {self.label} exceeds "
+                f"the {MAX_FRAME}-byte limit"
+            )
+        if len(self._buffer) < 4 + length:
+            return None
+        payload = bytes(self._buffer[4 : 4 + length])
+        del self._buffer[: 4 + length]
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"undecodable frame from {self.label}: {exc}"
+            ) from exc
+        if not isinstance(message, dict) or not isinstance(
+            message.get("type"), str
+        ):
+            raise ProtocolError(
+                f"frame from {self.label} is not a typed message object"
+            )
+        return message
+
+    def _fill(self, timeout: Optional[float]) -> bool:
+        """Wait up to ``timeout`` for bytes (``None`` = forever); returns
+        whether any arrived.  Raises :class:`ConnectionClosed` on EOF."""
+        try:
+            ready, _, _ = select.select([self._read_fd], [], [], timeout)
+        except OSError as exc:
+            raise ConnectionClosed(
+                f"cannot poll {self.label}: {exc}"
+            ) from exc
+        if not ready:
+            return False
+        try:
+            chunk = os.read(self._read_fd, 65536)
+        except OSError as exc:
+            raise ConnectionClosed(
+                f"peer {self.label} went away mid-read: {exc}"
+            ) from exc
+        if not chunk:
+            raise ConnectionClosed(f"peer {self.label} closed the connection")
+        self._buffer.extend(chunk)
+        return True
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next message, or ``None`` when ``timeout`` elapses first.
+        ``timeout=None`` blocks; ``timeout=0`` is a non-blocking poll."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            message = self._parse_frame()
+            if message is not None:
+                return message
+            if deadline is None:
+                self._fill(None)
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            if not self._fill(remaining):
+                return None
+
+    def poll(self) -> Optional[Dict[str, Any]]:
+        """Non-blocking :meth:`recv`."""
+        return self.recv(timeout=0.0)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        elif self._files is not None:
+            for fh in self._files:
+                try:
+                    fh.close()
+                except OSError:
+                    pass
+        else:
+            for fd in {self._read_fd, self._write_fd}:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+
+# ---------------------------------------------------------------------------
+# Report encoding (§4 "result"): base64-pickled detached TestReports
+# ---------------------------------------------------------------------------
+def encode_report(report: TestReport) -> str:
+    return base64.b64encode(
+        pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_report(text: Any) -> TestReport:
+    try:
+        report = pickle.loads(base64.b64decode(str(text).encode("ascii")))
+    except Exception as exc:  # noqa: BLE001 - any corruption is protocol-fatal
+        raise ProtocolError(f"undecodable shard report: {exc}") from exc
+    if not isinstance(report, TestReport):
+        raise ProtocolError(
+            f"shard report decoded to {type(report).__name__}, not TestReport"
+        )
+    return report
+
+
+def worker_environment() -> Dict[str, str]:
+    """Environment for a spawned worker subprocess: the coordinator's
+    environment with the running ``repro`` package's root prepended to
+    ``PYTHONPATH``, so ``python -m repro worker`` resolves to the same
+    code regardless of how the coordinator was launched."""
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    package_root = os.path.dirname(package_root)  # .../src
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+# ---------------------------------------------------------------------------
+# Worker side (§5)
+# ---------------------------------------------------------------------------
+class _WireEvents:
+    """EventLog-shaped adapter forwarding a shard's telemetry over the
+    wire as ``event`` frames (the coordinator appends them to its JSONL
+    log).  Like :class:`~repro.testing.telemetry.EventLog`, emitting
+    never raises — a dead connection surfaces through the main protocol
+    path, not through telemetry."""
+
+    def __init__(self, conn: Connection, shard: int) -> None:
+        self._conn = conn
+        self._shard = shard
+
+    def emit(self, type_: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "pid": os.getpid(),
+            "shard": self._shard,
+            "type": type_,
+        }
+        record.update(fields)
+        try:
+            self._conn.send({"type": "event", "record": record})
+        except (ProtocolError, OSError):
+            pass
+
+    def close(self) -> None:
+        pass
+
+
+def connect_worker(
+    host: str,
+    port: int,
+    *,
+    connect_timeout: float = 10.0,
+) -> Connection:
+    """Dial the coordinator, retrying until ``connect_timeout`` — a
+    worker submitted moments before ``serve`` binds still attaches."""
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise PSharpError(
+                    f"cannot connect to coordinator at {host}:{port}: {exc}"
+                ) from exc
+            time.sleep(0.2)
+            continue
+        return Connection.from_socket(sock, label=f"{host}:{port}")
+
+
+def worker_loop(
+    conn: Connection,
+    *,
+    handshake_timeout: float = HANDSHAKE_TIMEOUT,
+) -> int:
+    """Speak the worker half of the protocol over ``conn`` until the
+    coordinator says shutdown (or hangs up); returns shards completed.
+
+    One warm process runs many shards: the campaign config arrives once
+    in the welcome frame, each ``work`` frame names a shard index and a
+    strategy spec, and the shard's strategy is built fresh from the spec
+    so nothing bleeds between shards (§5)."""
+    from .config import TestConfig  # deferred: config is the layer above
+
+    conn.send(
+        {
+            "type": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        }
+    )
+    welcome = conn.recv(timeout=handshake_timeout)
+    if welcome is None:
+        raise ProtocolError("coordinator did not answer the hello in time")
+    if welcome["type"] == "error":
+        raise ProtocolError(
+            f"coordinator rejected this worker: {welcome.get('message')}"
+        )
+    if welcome["type"] != "welcome":
+        raise ProtocolError(
+            f"expected a welcome frame, got {welcome['type']!r}"
+        )
+    if welcome.get("protocol") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"coordinator speaks protocol {welcome.get('protocol')!r}, "
+            f"this worker speaks {PROTOCOL_VERSION}"
+        )
+    config = TestConfig.from_json_obj(welcome["config"])
+    forward_events = bool(welcome.get("events"))
+    main_cls, payload, monitors = config.resolve_program()
+    faults = config.resolved_faults()
+
+    completed = 0
+    shutdown = False
+    while not shutdown:
+        message = conn.recv(timeout=None)
+        mtype = message["type"]
+        if mtype == "shutdown":
+            break
+        if mtype == "cancel":
+            continue  # no shard in flight; nothing to cancel
+        if mtype != "work":
+            raise ProtocolError(
+                f"unexpected {mtype!r} frame while idle (expected work, "
+                "cancel or shutdown)"
+            )
+        shard = int(message["shard"])
+        spec = _spec_from_wire(message.get("spec"))
+        budget = message.get("time_limit")
+
+        # The shard's stop-check doubles as the wire pump: it stamps a
+        # heartbeat roughly every HEARTBEAT_INTERVAL and polls for
+        # cancel/shutdown, throttled so a hot schedule loop is not
+        # paying a select() per scheduling point.
+        state = {"stop": False, "next_wire": 0.0, "next_beat": 0.0}
+
+        def stop_check() -> bool:
+            now = time.monotonic()
+            if now < state["next_wire"]:
+                return state["stop"]
+            state["next_wire"] = now + 0.05
+            try:
+                if now >= state["next_beat"]:
+                    state["next_beat"] = now + HEARTBEAT_INTERVAL
+                    conn.send({"type": "heartbeat", "shard": shard})
+                note = conn.poll()
+            except ProtocolError:
+                state["stop"] = True
+                return True
+            if note is not None:
+                if note["type"] == "cancel":
+                    state["stop"] = True
+                elif note["type"] == "shutdown":
+                    state["stop"] = True
+                    nonlocal shutdown
+                    shutdown = True
+            return state["stop"]
+
+        events = _WireEvents(conn, shard) if forward_events else None
+        strategy = make_strategy(spec)
+        report = drive(
+            main_cls,
+            payload,
+            strategy,
+            max_iterations=config.max_iterations,
+            time_limit=budget,
+            max_steps=config.max_steps,
+            stop_on_first_bug=config.stop_on_first_bug,
+            livelock_as_bug=config.livelock_as_bug,
+            record_traces=config.record_traces,
+            stop_check=stop_check,
+            workers=config.workers,
+            monitors=monitors,
+            max_hot_steps=config.max_hot_steps,
+            faults=faults,
+            iteration_timeout=config.iteration_timeout,
+            coverage=config.coverage,
+            events=events,
+        )
+        conn.send(
+            {
+                "type": "result",
+                "shard": shard,
+                "canceled": state["stop"],
+                "report": encode_report(report.detached()),
+            }
+        )
+        completed += 1
+    try:
+        conn.send({"type": "goodbye"})
+    except ProtocolError:
+        pass
+    return completed
+
+
+def _spec_from_wire(value: Any) -> StrategySpec:
+    if (
+        not isinstance(value, dict)
+        or not isinstance(value.get("name"), str)
+        or not isinstance(value.get("params", {}), dict)
+    ):
+        raise ProtocolError(f"work frame carries a malformed spec: {value!r}")
+    return StrategySpec(value["name"], dict(value.get("params", {})))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side (§3–§7)
+# ---------------------------------------------------------------------------
+class _Peer:
+    """Coordinator-side state for one worker connection."""
+
+    __slots__ = (
+        "conn", "stage", "shard", "last_seen", "proc", "slot", "pid",
+    )
+
+    def __init__(
+        self,
+        conn: Connection,
+        *,
+        proc: Optional[subprocess.Popen] = None,
+        slot: Optional[int] = None,
+    ) -> None:
+        self.conn = conn
+        self.stage = "handshake"  # handshake -> idle -> (busy <-> idle)
+        self.shard: Optional[int] = None
+        self.last_seen = time.monotonic()
+        self.proc = proc
+        self.slot = slot
+        self.pid: Optional[int] = None
+
+
+def run_fleet(
+    config: "TestConfig",
+    *,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    local_workers: int = 0,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
+    grace: float = DEFAULT_GRACE,
+    worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+    max_requeues: int = DEFAULT_MAX_REQUEUES,
+    max_respawns: int = DEFAULT_MAX_RESPAWNS,
+    on_listen: Optional[Callable[[str, int], None]] = None,
+) -> TestReport:
+    """Coordinate one sharded campaign over a fleet of workers.
+
+    Work sources: a TCP listener on ``host:port`` (``port=0`` binds an
+    ephemeral port, reported through ``on_listen``) accepting remote
+    ``python -m repro worker`` processes, and/or ``local_workers`` stdio
+    worker subprocesses spawned (and respawned, bounded) directly.  At
+    least one source is required.
+
+    The campaign is ``config.portfolio_specs()`` — identical shards, in
+    identical order, to ``Campaign.portfolio()``, so a fleet run and a
+    local portfolio run of the same config + seed merge to the same
+    distinct-bug fingerprint set.  ``checkpoint``/``resume`` reuse
+    :mod:`repro.testing.checkpoint` verbatim: completed (non-canceled)
+    shards are persisted as they land, and a resumed campaign never
+    re-runs them.  SIGINT checkpoints and returns the partial merged
+    report with ``interrupted=True``."""
+    from .config import TestConfig  # deferred: config is the layer above
+
+    if not isinstance(config, TestConfig):
+        raise PSharpError(f"run_fleet needs a TestConfig, got {config!r}")
+    if port is None and local_workers <= 0:
+        raise PSharpError(
+            "a fleet needs at least one worker source: a --port to accept "
+            "TCP workers on, or --workers N local processes"
+        )
+
+    specs = list(config.portfolio_specs())
+    for spec in specs:
+        make_strategy(spec)  # fail fast on unbuildable specs
+    # Workers never open the coordinator's event log path themselves —
+    # telemetry travels back over the wire (event frames) instead.
+    config_obj = config.with_overrides(events_path=None).to_json_obj()
+    fingerprint = config_fingerprint(config)
+
+    collected: Dict[int, TestReport] = {}
+    checkpointed: Dict[int, TestReport] = {}
+    if resume is not None:
+        state = load_checkpoint(resume)
+        verify_checkpoint(state, config, str(resume))
+        specs = list(state["specs"])
+        checkpointed = dict(state["completed"])
+        collected = dict(checkpointed)
+
+    events = (
+        EventLog(config.events_path) if config.events_path is not None else None
+    )
+
+    def emit(type_: str, **fields: Any) -> None:
+        if events is not None:
+            events.emit(type_, **fields)
+
+    pending: Deque[int] = collections.deque(
+        index for index in range(len(specs)) if index not in collected
+    )
+    requeues: Dict[int, int] = {}
+    abandoned: Set[int] = set()
+    peers: List[_Peer] = []
+    respawns_by_slot: Dict[int, int] = {}
+    winner_index: Optional[int] = None
+    cancelled = False
+    interrupted = False
+    wall_start = time.perf_counter()
+    start = time.monotonic()
+    deadline = (
+        start + config.time_limit if config.time_limit is not None else None
+    )
+    hard_stop: Optional[float] = None
+
+    listener: Optional[socket.socket] = None
+    if port is not None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
+        except OSError as exc:
+            listener.close()
+            raise PSharpError(
+                f"cannot listen on {host}:{port}: {exc}"
+            ) from exc
+        listener.listen()
+        listener.setblocking(False)
+        bound_host, bound_port = listener.getsockname()[:2]
+        if on_listen is not None:
+            on_listen(bound_host, bound_port)
+
+    def total_done() -> int:
+        return len(collected) + len(abandoned)
+
+    def busy_peers() -> List[_Peer]:
+        return [peer for peer in peers if peer.shard is not None]
+
+    def save_progress() -> None:
+        if checkpoint is not None:
+            save_checkpoint(
+                checkpoint,
+                fingerprint=fingerprint,
+                specs=specs,
+                completed=checkpointed,
+            )
+            emit(
+                "checkpoint",
+                path=str(checkpoint),
+                completed=sorted(checkpointed),
+            )
+
+    def spawn_local(slot: int) -> None:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--stdio"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            bufsize=0,
+            env=worker_environment(),
+        )
+        conn = Connection(
+            proc.stdout.fileno(),
+            proc.stdin.fileno(),
+            files=(proc.stdout, proc.stdin),
+            label=f"local-{slot}(pid {proc.pid})",
+        )
+        peers.append(_Peer(conn, proc=proc, slot=slot))
+        emit("fleet_worker_spawn", slot=slot, pid=proc.pid)
+
+    def cancel_all(reason: str) -> None:
+        nonlocal cancelled, hard_stop
+        if cancelled:
+            return
+        cancelled = True
+        hard_stop = time.monotonic() + grace
+        emit("fleet_cancel", reason=reason)
+        for peer in peers:
+            try:
+                if peer.shard is not None:
+                    peer.conn.send({"type": "cancel"})
+                elif peer.stage == "idle":
+                    peer.conn.send({"type": "shutdown"})
+            except ProtocolError:
+                pass
+
+    def accept_result(shard: int, report: TestReport, partial: bool) -> None:
+        nonlocal winner_index
+        if shard in collected:
+            return  # duplicate from a presumed-lost worker; first in wins
+        collected[shard] = report
+        abandoned.discard(shard)
+        emit(
+            "fleet_shard_result",
+            shard=shard,
+            partial=partial,
+            iterations=report.iterations,
+            bugs=len(report.bugs),
+        )
+        if not partial:
+            checkpointed[shard] = report
+            save_progress()
+        if (
+            winner_index is None
+            and config.stop_on_first_bug
+            and report.first_bug is not None
+        ):
+            winner_index = shard
+            cancel_all(f"first bug found by shard {shard}")
+
+    def assign(peer: _Peer) -> None:
+        """Hand the next pending shard to an idle worker; with nothing
+        pending the worker stays idle (it may inherit a requeued shard
+        later) until the campaign completes."""
+        if cancelled or not pending:
+            return
+        shard = pending.popleft()
+        budget: Optional[float] = None
+        if deadline is not None:
+            budget = max(0.1, deadline - time.monotonic())
+        spec = specs[shard]
+        try:
+            peer.conn.send(
+                {
+                    "type": "work",
+                    "shard": shard,
+                    "spec": {"name": spec.name, "params": dict(spec.params)},
+                    "time_limit": budget,
+                }
+            )
+        except ProtocolError:
+            pending.appendleft(shard)
+            raise
+        peer.shard = shard
+        peer.stage = "busy"
+        emit(
+            "fleet_work_assigned",
+            shard=shard,
+            spec=spec.label(),
+            worker=peer.conn.label,
+        )
+
+    def drop(peer: _Peer, reason: str, *, clean: bool = False) -> None:
+        if peer not in peers:
+            return
+        peers.remove(peer)
+        peer.conn.close()
+        if not clean:
+            emit("fleet_worker_lost", worker=peer.conn.label, reason=reason)
+        shard = peer.shard
+        if shard is not None and shard not in collected:
+            count = requeues.get(shard, 0)
+            if cancelled or count >= max_requeues:
+                abandoned.add(shard)
+                emit("fleet_shard_abandoned", shard=shard, requeues=count)
+            else:
+                requeues[shard] = count + 1
+                pending.append(shard)
+                emit("fleet_shard_requeued", shard=shard, attempt=count + 1)
+        if peer.proc is not None:
+            if peer.proc.poll() is None:
+                peer.proc.terminate()
+            slot = peer.slot if peer.slot is not None else -1
+            if (
+                not clean
+                and not cancelled
+                and total_done() < len(specs)
+                and respawns_by_slot.get(slot, 0) < max_respawns
+            ):
+                respawns_by_slot[slot] = respawns_by_slot.get(slot, 0) + 1
+                emit(
+                    "fleet_worker_respawn",
+                    slot=slot,
+                    attempt=respawns_by_slot[slot],
+                )
+                spawn_local(slot)
+
+    def handle(peer: _Peer, message: Dict[str, Any]) -> None:
+        peer.last_seen = time.monotonic()
+        mtype = message["type"]
+        if peer.stage == "handshake":
+            if mtype != "hello":
+                raise ProtocolError(
+                    f"expected hello from {peer.conn.label}, got {mtype!r}"
+                )
+            if message.get("protocol") != PROTOCOL_VERSION:
+                try:
+                    peer.conn.send(
+                        {
+                            "type": "error",
+                            "message": (
+                                f"protocol version "
+                                f"{message.get('protocol')!r} not supported;"
+                                f" coordinator speaks {PROTOCOL_VERSION}"
+                            ),
+                        }
+                    )
+                except ProtocolError:
+                    pass
+                raise ProtocolError(
+                    f"{peer.conn.label} speaks protocol "
+                    f"{message.get('protocol')!r}, not {PROTOCOL_VERSION}"
+                )
+            peer.pid = message.get("pid")
+            peer.conn.send(
+                {
+                    "type": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "config": config_obj,
+                    "events": events is not None,
+                }
+            )
+            peer.stage = "idle"
+            emit("fleet_worker_ready", worker=peer.conn.label, pid=peer.pid)
+            if cancelled:
+                peer.conn.send({"type": "shutdown"})
+            else:
+                assign(peer)
+        elif mtype == "heartbeat":
+            pass  # last_seen already stamped
+        elif mtype == "event":
+            if events is not None:
+                record = message.get("record")
+                if isinstance(record, dict):
+                    events.forward(record)
+        elif mtype == "result":
+            shard = int(message["shard"])
+            report = decode_report(message.get("report"))
+            peer.shard = None
+            peer.stage = "idle"
+            partial = bool(message.get("canceled")) or cancelled
+            accept_result(shard, report, partial)
+            if not cancelled:
+                assign(peer)
+        elif mtype == "goodbye":
+            drop(peer, "goodbye", clean=True)
+        else:
+            raise ProtocolError(
+                f"unexpected {mtype!r} frame from {peer.conn.label}"
+            )
+
+    timed_out = False
+    try:
+        emit(
+            "fleet_start",
+            program=str(config.program),
+            shards=len(specs),
+            resumed=sorted(checkpointed),
+            local_workers=local_workers,
+            listening=bool(listener),
+        )
+        for slot in range(max(0, local_workers)):
+            spawn_local(slot)
+
+        while True:
+            now = time.monotonic()
+            if total_done() >= len(specs):
+                break
+            if hard_stop is not None and now >= hard_stop:
+                break
+            if cancelled and not busy_peers():
+                break
+            if deadline is not None and now >= deadline and not cancelled:
+                timed_out = True
+                cancel_all("time limit reached")
+            # A fleet with pending work but no way to ever run it must
+            # abandon rather than spin: no listener, no live peers, no
+            # respawn credit left.
+            if (
+                pending
+                and listener is None
+                and not peers
+                and all(
+                    respawns_by_slot.get(slot, 0) >= max_respawns
+                    for slot in range(max(1, local_workers))
+                )
+            ):
+                while pending:
+                    shard = pending.popleft()
+                    abandoned.add(shard)
+                    emit("fleet_shard_abandoned", shard=shard, requeues=requeues.get(shard, 0))
+                continue
+
+            read_fds: List[Any] = [p.conn for p in peers]
+            if listener is not None:
+                read_fds.append(listener)
+            try:
+                ready, _, _ = select.select(read_fds, [], [], 0.25)
+            except (OSError, ValueError):
+                # A bad fd in the set: probe each source individually so
+                # one torn-down peer cannot wedge the whole loop.
+                for peer in list(peers):
+                    try:
+                        select.select([peer.conn], [], [], 0)
+                    except (OSError, ValueError):
+                        drop(peer, "connection descriptor went bad")
+                if listener is not None:
+                    try:
+                        select.select([listener], [], [], 0)
+                    except (OSError, ValueError):
+                        listener = None
+                continue
+
+            for source in ready:
+                if source is listener:
+                    while True:
+                        try:
+                            sock, addr = listener.accept()
+                        except (BlockingIOError, OSError):
+                            break
+                        conn = Connection.from_socket(
+                            sock, label=f"{addr[0]}:{addr[1]}"
+                        )
+                        peers.append(_Peer(conn))
+                        emit("fleet_worker_connect", worker=conn.label)
+                    continue
+                peer = next((p for p in peers if p.conn is source), None)
+                if peer is None:
+                    continue
+                try:
+                    while True:
+                        message = peer.conn.poll()
+                        if message is None:
+                            break
+                        handle(peer, message)
+                except (ConnectionClosed, ProtocolError) as exc:
+                    drop(peer, str(exc))
+
+            now = time.monotonic()
+            for peer in list(peers):
+                if peer.stage == "handshake" and (
+                    now - peer.last_seen > HANDSHAKE_TIMEOUT
+                ):
+                    drop(peer, "handshake timed out")
+                elif peer.shard is not None and (
+                    now - peer.last_seen > worker_timeout
+                ):
+                    drop(peer, "heartbeat went stale")
+                elif peer.proc is not None and peer.proc.poll() is not None:
+                    # A dead local process also surfaces as EOF on its
+                    # pipe, but reap it promptly even if the pipe
+                    # lingers open in a grandchild.
+                    drop(
+                        peer,
+                        f"local worker exited with {peer.proc.returncode}",
+                    )
+    except KeyboardInterrupt:
+        interrupted = True
+        cancel_all("keyboard interrupt")
+        # Short drain so busy workers can flush partial shard reports.
+        drain_until = time.monotonic() + min(grace, 2.0)
+        while busy_peers() and time.monotonic() < drain_until:
+            try:
+                ready, _, _ = select.select(
+                    [p.conn for p in peers], [], [], 0.1
+                )
+            except (OSError, ValueError):
+                break
+            for source in ready:
+                peer = next((p for p in peers if p.conn is source), None)
+                if peer is None:
+                    continue
+                try:
+                    while True:
+                        message = peer.conn.poll()
+                        if message is None:
+                            break
+                        handle(peer, message)
+                except (ConnectionClosed, ProtocolError) as exc:
+                    drop(peer, str(exc))
+    finally:
+        for peer in list(peers):
+            try:
+                peer.conn.send({"type": "shutdown"})
+            except ProtocolError:
+                pass
+        for peer in list(peers):
+            if peer.proc is not None:
+                try:
+                    peer.proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    pass
+            peer.conn.close()
+            if peer.proc is not None and peer.proc.poll() is None:
+                peer.proc.terminate()
+                try:
+                    peer.proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    peer.proc.kill()
+                    peer.proc.wait(timeout=2.0)
+        peers.clear()
+        if listener is not None:
+            listener.close()
+        save_progress()
+
+    campaign = merge_shard_reports(
+        specs,
+        collected,
+        strategy="fleet",
+        winner_index=winner_index,
+        elapsed=time.perf_counter() - wall_start,
+        interrupted=interrupted,
+    )
+    emit(
+        "fleet_end",
+        iterations=campaign.iterations,
+        bugs=len(campaign.bugs),
+        elapsed=round(campaign.elapsed, 6),
+        interrupted=interrupted,
+        timed_out=timed_out,
+        abandoned_shards=sorted(abandoned),
+    )
+    if events is not None:
+        events.close()
+    return campaign

@@ -271,6 +271,45 @@ def _portfolio_worker(
 # ---------------------------------------------------------------------------
 # The portfolio runner
 # ---------------------------------------------------------------------------
+def merge_shard_reports(
+    specs: Sequence[StrategySpec],
+    collected: Dict[int, TestReport],
+    *,
+    strategy: str = "portfolio",
+    winner_index: Optional[int] = None,
+    elapsed: Optional[float] = None,
+    interrupted: bool = False,
+) -> TestReport:
+    """Fold per-shard reports into one campaign report, in shard order.
+
+    The one merge path every sharded campaign shape shares — the local
+    portfolio runner and the distributed fleet coordinator
+    (:mod:`repro.testing.fleet`) both end here, so "what does a merged
+    report mean" has a single answer.  Shards missing from ``collected``
+    (worker died, missed the flush window, never assigned) contribute an
+    empty report so the merge arithmetic stays honest; distinct-bug
+    dedup by trace fingerprint happens inside
+    :meth:`TestReport.merged`."""
+    ordered = []
+    for index, spec in enumerate(specs):
+        report = collected.get(index)
+        if report is None:
+            report = TestReport(strategy=spec.label())
+        if report.strategy != spec.label():
+            report.strategy = spec.label()
+        ordered.append(report)
+    campaign = TestReport.merged(ordered, strategy=strategy)
+    if elapsed is not None:
+        campaign.elapsed = elapsed
+    if interrupted:
+        campaign.interrupted = True
+    if winner_index is not None and winner_index in collected:
+        winning = collected[winner_index]
+        campaign.first_bug = winning.first_bug
+        campaign.first_bug_iteration = winning.first_bug_iteration
+    return campaign
+
+
 #: extra seconds granted after the deadline/cancellation for workers to
 #: flush their final reports before being terminated.
 DEFAULT_GRACE = 10.0
@@ -601,25 +640,14 @@ def run_portfolio(
         collected.setdefault(index, report)
     results.close()
 
-    ordered = []
-    for index, spec in enumerate(specs):
-        report = collected.get(index)
-        if report is None:
-            # Worker died or missed the flush window: contribute an
-            # empty shard so the merge arithmetic stays honest.
-            report = TestReport(strategy=spec.label())
-        if report.strategy != spec.label():
-            report.strategy = spec.label()
-        ordered.append(report)
-
-    campaign = TestReport.merged(ordered, strategy="portfolio")
-    campaign.elapsed = time.perf_counter() - wall_start
-    if interrupted:
-        campaign.interrupted = True
-    if winner_index is not None:
-        winning = collected[winner_index]
-        campaign.first_bug = winning.first_bug
-        campaign.first_bug_iteration = winning.first_bug_iteration
+    campaign = merge_shard_reports(
+        specs,
+        collected,
+        strategy="portfolio",
+        winner_index=winner_index,
+        elapsed=time.perf_counter() - wall_start,
+        interrupted=interrupted,
+    )
     if events is not None:
         events.emit(
             "campaign_end",

@@ -16,10 +16,12 @@ respawns, watchdog hits, checkpoint writes.  Each event is one JSON
 object per line with at least ``ts`` (epoch seconds), ``pid`` and
 ``type``; portfolio workers append to the same file from multiple
 processes, which is safe because each event is a single short
-``write()`` of a complete line on a file opened in append mode.  This
-is the wire format a future ``repro serve`` fleet will stream instead
-of writing to disk.  Emission failures are swallowed: observability
-must never kill a campaign.
+``write()`` of a complete line on a file opened in append mode.  The
+``repro serve`` fleet (:mod:`repro.testing.fleet`) streams the same
+records over its wire protocol as ``event`` frames and the coordinator
+appends them here via :meth:`EventLog.forward`, so a distributed
+campaign's event log reads exactly like a local one.  Emission failures
+are swallowed: observability must never kill a campaign.
 """
 
 from __future__ import annotations
@@ -291,6 +293,17 @@ class EventLog:
             self._fh.flush()
         except (OSError, ValueError):
             pass  # observability must never kill a campaign
+
+    def forward(self, record: Dict[str, object]) -> None:
+        """Append a pre-built record verbatim — the path a fleet
+        coordinator uses for records that arrived over the wire already
+        stamped (ts/pid/shard) by the worker that produced them.  Same
+        durability rules as :meth:`emit`: never raises."""
+        try:
+            self._fh.write(json.dumps(record, default=str) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError, TypeError):
+            pass
 
     def close(self) -> None:
         try:

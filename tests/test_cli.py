@@ -179,3 +179,54 @@ class TestMainInProcess:
         captured = capsys.readouterr()
         assert "no trace to save" in captured.err
         assert not trace.exists()
+
+
+class TestConfigFile:
+    """``test --config campaign.json`` — the file-driven campaign entry."""
+
+    def _write(self, tmp_path, obj):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(obj), encoding="utf-8")
+        return path
+
+    def test_config_file_runs_campaign(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {
+                "version": 1,
+                "program": "BoundedAsync",
+                "strategy": "random",
+                "seed": 7,
+                "max_iterations": 50,
+            },
+        )
+        proc = run_cli("test", "--config", str(path), "--expect-bug")
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "bug:" in proc.stdout
+
+    def test_unknown_field_exits_2(self, tmp_path):
+        path = self._write(
+            tmp_path, {"version": 1, "program": "Raft", "max_iteratons": 5}
+        )
+        proc = run_cli("test", "--config", str(path))
+        assert proc.returncode == 2
+        assert "unknown field" in proc.stderr
+
+    def test_target_and_config_conflict(self, tmp_path):
+        path = self._write(tmp_path, {"version": 1, "program": "Raft"})
+        proc = run_cli("test", "BoundedAsync", "--config", str(path))
+        assert proc.returncode == 2
+        assert "exactly one" in proc.stderr
+
+    def test_neither_target_nor_config_exits_2(self):
+        proc = run_cli("test")
+        assert proc.returncode == 2
+        assert "exactly one" in proc.stderr
+
+    def test_strategy_flag_conflicts_with_config(self, tmp_path):
+        path = self._write(tmp_path, {"version": 1, "program": "Raft"})
+        proc = run_cli("test", "--config", str(path), "--strategy", "dfs")
+        assert proc.returncode == 2
+        assert "--strategy" in proc.stderr

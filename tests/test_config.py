@@ -593,3 +593,121 @@ class TestTraceSaveLoad:
         report.first_bug.trace.save(path)
         result = replay(RacyCounter, str(path))
         assert result.buggy
+
+
+# ---------------------------------------------------------------------------
+# Campaign JSON: the versioned TestConfig round-trip the fleet and
+# `test --config` ship campaigns as (docs/cli.md "Campaign files").
+# ---------------------------------------------------------------------------
+class TestConfigJson:
+    def _rich_config(self):
+        from repro.bench.raft import ElectionSafetyMonitor
+        from repro.testing.faults import FaultConfig
+
+        return TestConfig(
+            program="tests.machines:Ping",
+            payload={"rounds": 3, "names": ["a", "b"]},
+            specs=(
+                StrategySpec("random", {"seed": 1}),
+                StrategySpec("pct", {"depth": 10, "seed": 2}),
+            ),
+            seed=7,
+            max_iterations=123,
+            time_limit=45.5,
+            stop_on_first_bug=False,
+            monitors=(ElectionSafetyMonitor,),
+            faults=FaultConfig(drop=0.1, crash=0.05, crash_classes=(Ping,)),
+            iteration_timeout=2.5,
+            coverage=True,
+            events_path="/tmp/events.jsonl",
+        )
+
+    def test_round_trip_is_exact(self):
+        config = self._rich_config()
+        restored = TestConfig.from_json(config.to_json())
+        assert restored == config
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        config = self._rich_config()
+        config.save(path)
+        assert TestConfig.load(path) == config
+
+    def test_class_program_serializes_as_import_path(self):
+        config = TestConfig(program=Ping, max_iterations=10)
+        obj = config.to_json_obj()
+        assert obj["program"] == "tests.machines:Ping"
+        restored = TestConfig.from_json_obj(obj)
+        assert restored.resolve_program()[0] is Ping
+
+    def test_cli_style_strategy_strings_accepted(self):
+        restored = TestConfig.from_json_obj(
+            {
+                "version": 1,
+                "program": "BoundedAsync",
+                "strategy": "pct,depth=10",
+                "specs": ["random,seed=1", "dfs"],
+            }
+        )
+        assert restored.strategy == StrategySpec("pct", {"depth": 10})
+        assert restored.specs == (
+            StrategySpec("random", {"seed": 1}),
+            StrategySpec("dfs"),
+        )
+
+    def test_unknown_field_is_loud(self):
+        with pytest.raises(PSharpError, match="unknown field.*'max_iteratons'"):
+            TestConfig.from_json_obj(
+                {"version": 1, "program": "Raft", "max_iteratons": 5}
+            )
+
+    def test_missing_version_is_loud(self):
+        with pytest.raises(PSharpError, match="no 'version'"):
+            TestConfig.from_json_obj({"program": "Raft"})
+
+    def test_foreign_version_is_loud(self):
+        with pytest.raises(PSharpError, match="version 99"):
+            TestConfig.from_json_obj({"version": 99, "program": "Raft"})
+
+    def test_unknown_fault_field_is_loud(self):
+        with pytest.raises(PSharpError, match="'faults'.*'dorp'"):
+            TestConfig.from_json_obj(
+                {"version": 1, "program": "Raft", "faults": {"dorp": 0.1}}
+            )
+
+    def test_runtime_factory_refuses_to_serialize(self):
+        config = TestConfig(program="Raft", runtime_factory=lambda *a, **k: None)
+        with pytest.raises(PSharpError, match="runtime_factory"):
+            config.to_json()
+
+    def test_non_json_payload_refuses_to_serialize(self):
+        config = TestConfig(program="Raft", payload={1, 2, 3})
+        with pytest.raises(PSharpError, match="payload"):
+            config.to_json()
+
+    def test_local_class_refuses_to_serialize(self):
+        class Local(Machine):
+            class Init(State):
+                initial = True
+
+        config = TestConfig(program=Local)
+        with pytest.raises(PSharpError, match="not importable"):
+            config.to_json()
+
+    def test_unimportable_monitor_is_loud(self):
+        with pytest.raises(PSharpError, match="cannot import monitor"):
+            TestConfig.from_json_obj(
+                {"version": 1, "program": "Raft", "monitors": ["nope.not:There"]}
+            )
+
+    def test_corrupt_file_is_loud(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(PSharpError, match="does not parse"):
+            TestConfig.load(path)
+
+    def test_wrong_scalar_type_is_loud(self):
+        with pytest.raises(PSharpError):
+            TestConfig.from_json_obj(
+                {"version": 1, "program": "Raft", "max_iterations": "ten"}
+            )

@@ -1,0 +1,464 @@
+"""Tests for the distributed campaign fleet (:mod:`repro.testing.fleet`).
+
+The wire format under test is specified normatively in docs/protocol.md;
+the section references below (§2 framing, §3 handshake, §5 work
+lifecycle, §6 failure handling, §7 checkpointing) point there.
+
+The acceptance property: a campaign sharded over ≥2 worker processes via
+``serve``/``submit`` merges to the same distinct-bug fingerprint set as
+a single-process ``Campaign.portfolio()`` of the same config + seed —
+and killing a worker mid-campaign changes neither completion nor that
+set (the shard is re-queued, §6).
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Campaign, PSharpError, StrategySpec, TestConfig
+from repro.testing.checkpoint import load_checkpoint, save_checkpoint
+from repro.testing.fleet import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    Connection,
+    ConnectionClosed,
+    ProtocolError,
+    _encode_frame,
+    run_fleet,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Explicitly seeded shards: the fleet and the local portfolio must
+#: explore *identical* schedules, so nothing may draw a fresh seed.
+FOUR_SHARDS = (
+    StrategySpec("random", {"seed": 1}),
+    StrategySpec("random", {"seed": 2}),
+    StrategySpec("pct", {"depth": 10, "seed": 3}),
+    StrategySpec("delay-bounding", {"delays": 2, "seed": 4}),
+)
+
+
+def fleet_config(**overrides):
+    """A deterministic run-to-completion campaign: every shard burns its
+    full iteration budget (stop_on_first_bug off), so merged totals and
+    fingerprint sets are exactly reproducible."""
+    defaults = dict(
+        program="BoundedAsync",
+        specs=FOUR_SHARDS,
+        max_iterations=60,
+        time_limit=120.0,
+        stop_on_first_bug=False,
+    )
+    defaults.update(overrides)
+    return TestConfig(**defaults)
+
+
+def fingerprints(report):
+    return {
+        bug.trace.fingerprint() for bug in report.bugs if bug.trace is not None
+    }
+
+
+def start_fleet(config, **kwargs):
+    """Run the coordinator on a thread; returns (thread, result box)."""
+    box = {}
+
+    def target():
+        try:
+            box["report"] = run_fleet(config, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def finish_fleet(thread, box, timeout=90.0):
+    thread.join(timeout=timeout)
+    assert not thread.is_alive(), "coordinator did not finish in time"
+    if "error" in box:
+        raise box["error"]
+    return box["report"]
+
+
+def wait_for(predicate, timeout=20.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    raise AssertionError(f"{message} not met within {timeout}s")
+
+
+def read_events(path):
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def spawn_tcp_worker(port):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--host", "127.0.0.1", "--port", str(port),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Framing (protocol.md §2)
+# ---------------------------------------------------------------------------
+def socket_pair():
+    left, right = socket.socketpair()
+    return (
+        Connection.from_socket(left, label="left"),
+        Connection.from_socket(right, label="right"),
+        right,
+    )
+
+
+class TestFraming:
+    def test_round_trip_preserves_message(self):
+        a, b, _ = socket_pair()
+        a.send({"type": "work", "shard": 3, "spec": {"name": "random"}})
+        message = b.recv(timeout=5.0)
+        assert message == {"type": "work", "shard": 3, "spec": {"name": "random"}}
+        a.close(), b.close()
+
+    def test_partial_frames_reassemble(self):
+        # §2: a frame split across arbitrary write boundaries must
+        # reassemble; bytes after it belong to the next frame.
+        a, b, right_sock = socket_pair()
+        frame = _encode_frame({"type": "heartbeat", "shard": 1})
+        right_sock.sendall(frame[:3])
+        assert a.poll() is None  # incomplete: not a message yet
+        right_sock.sendall(frame[3:] + _encode_frame({"type": "goodbye"}))
+        assert a.recv(timeout=5.0) == {"type": "heartbeat", "shard": 1}
+        assert a.recv(timeout=5.0) == {"type": "goodbye"}
+        a.close(), b.close()
+
+    def test_oversized_frame_is_protocol_error_not_allocation(self):
+        # §2: the length prefix is validated before any allocation.
+        a, b, right_sock = socket_pair()
+        right_sock.sendall(struct.pack(">I", MAX_FRAME + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            a.recv(timeout=5.0)
+        a.close(), b.close()
+
+    def test_garbage_payload_is_protocol_error(self):
+        a, b, right_sock = socket_pair()
+        payload = b"\xff\xfenot json"
+        right_sock.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="undecodable"):
+            a.recv(timeout=5.0)
+        a.close(), b.close()
+
+    def test_untyped_message_is_protocol_error(self):
+        # §2: every frame is a JSON object with a string "type".
+        a, b, right_sock = socket_pair()
+        payload = json.dumps([1, 2, 3]).encode()
+        right_sock.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="typed message"):
+            a.recv(timeout=5.0)
+        a.close(), b.close()
+
+    def test_eof_raises_connection_closed(self):
+        a, b, _ = socket_pair()
+        b.close()
+        with pytest.raises(ConnectionClosed):
+            a.recv(timeout=5.0)
+        a.close()
+
+    def test_recv_timeout_returns_none(self):
+        a, b, _ = socket_pair()
+        start = time.monotonic()
+        assert a.recv(timeout=0.1) is None
+        assert time.monotonic() - start < 2.0
+        a.close(), b.close()
+
+
+# ---------------------------------------------------------------------------
+# Transport parity + the acceptance property
+# ---------------------------------------------------------------------------
+class TestFleetMatchesPortfolio:
+    def test_stdio_fleet_equals_local_portfolio(self):
+        config = fleet_config()
+        fleet = run_fleet(config, local_workers=2)
+        local = Campaign(config).portfolio()
+        assert fleet.iterations == local.iterations
+        assert fingerprints(fleet) == fingerprints(local)
+        assert len(fleet.sub_reports) == len(FOUR_SHARDS)
+        assert fleet.strategy == "fleet"
+
+    def test_socket_fleet_equals_stdio_fleet(self):
+        # The same campaign over both transports merges identically —
+        # the framing layer is the only thing that differs (§2).
+        config = fleet_config()
+        ports = []
+        thread, box = start_fleet(
+            config, port=0, on_listen=lambda host, port: ports.append(port)
+        )
+        wait_for(lambda: ports, message="listener bound")
+        workers = [spawn_tcp_worker(ports[0]) for _ in range(2)]
+        try:
+            socket_report = finish_fleet(thread, box)
+        finally:
+            for proc in workers:
+                proc.communicate(timeout=30)
+        stdio_report = run_fleet(config, local_workers=2)
+        assert fingerprints(socket_report) == fingerprints(stdio_report)
+        assert socket_report.iterations == stdio_report.iterations
+        assert all(proc.returncode == 0 for proc in workers)
+
+    def test_first_bug_wins_cancels_fleet(self):
+        # stop_on_first_bug on: the campaign ends early with a winner
+        # and the merged first_bug is the winning shard's.
+        config = fleet_config(stop_on_first_bug=True, max_iterations=5_000)
+        report = run_fleet(config, local_workers=2)
+        assert report.bug_found
+        assert report.first_bug is not None
+
+
+class TestFleetFailureModes:
+    def test_worker_killed_mid_shard_requeues_and_completes(self, tmp_path):
+        # §6: a lost worker's shard is re-queued and re-run from
+        # scratch, so the campaign completes with the full merged
+        # report — same totals, same fingerprint set — as if nothing
+        # had died.
+        events_path = tmp_path / "fleet.events.jsonl"
+        config = fleet_config(
+            max_iterations=4_000, events_path=str(events_path)
+        )
+        ports = []
+        thread, box = start_fleet(
+            config, port=0, on_listen=lambda host, port: ports.append(port)
+        )
+        wait_for(lambda: ports, message="listener bound")
+        workers = [spawn_tcp_worker(ports[0]) for _ in range(2)]
+
+        def two_assigned():
+            assigned = [
+                event for event in read_events(events_path)
+                if event["type"] == "fleet_work_assigned"
+            ]
+            return len(assigned) >= 2
+
+        wait_for(two_assigned, message="two shards assigned")
+        time.sleep(0.2)  # let the victim get into the middle of a shard
+        workers[0].kill()
+        try:
+            report = finish_fleet(thread, box)
+        finally:
+            for proc in workers:
+                proc.kill()
+                proc.communicate(timeout=30)
+
+        local = Campaign(fleet_config(max_iterations=4_000)).portfolio()
+        assert report.iterations == local.iterations
+        assert fingerprints(report) == fingerprints(local)
+        types = {event["type"] for event in read_events(events_path)}
+        assert "fleet_worker_lost" in types
+        assert "fleet_shard_requeued" in types
+
+    def test_version_mismatch_is_rejected_with_error_frame(self):
+        # §3: a hello announcing a foreign protocol version gets an
+        # error frame and a closed connection; the campaign is
+        # unaffected.
+        config = fleet_config(max_iterations=20)
+        ports = []
+        thread, box = start_fleet(
+            config,
+            port=0,
+            local_workers=1,
+            on_listen=lambda host, port: ports.append(port),
+        )
+        wait_for(lambda: ports, message="listener bound")
+        sock = socket.create_connection(("127.0.0.1", ports[0]), timeout=5.0)
+        imposter = Connection.from_socket(sock, label="imposter")
+        imposter.send({"type": "hello", "protocol": 999, "pid": os.getpid()})
+        reply = imposter.recv(timeout=10.0)
+        assert reply["type"] == "error"
+        assert "protocol version" in reply["message"]
+        with pytest.raises(ConnectionClosed):
+            while True:
+                imposter.recv(timeout=10.0)
+        imposter.close()
+        report = finish_fleet(thread, box)
+        assert report.iterations == 20 * len(FOUR_SHARDS)
+
+    def test_garbage_client_does_not_kill_campaign(self):
+        # §6: an undecodable frame drops that connection, nothing else.
+        config = fleet_config(max_iterations=20)
+        ports = []
+        thread, box = start_fleet(
+            config,
+            port=0,
+            local_workers=1,
+            on_listen=lambda host, port: ports.append(port),
+        )
+        wait_for(lambda: ports, message="listener bound")
+        sock = socket.create_connection(("127.0.0.1", ports[0]), timeout=5.0)
+        sock.sendall(b"\x00\x00\x00\x04spam")
+        report = finish_fleet(thread, box)
+        sock.close()
+        assert report.iterations == 20 * len(FOUR_SHARDS)
+
+    def test_fleet_without_worker_sources_is_rejected(self):
+        with pytest.raises(PSharpError, match="worker source"):
+            run_fleet(fleet_config())
+
+
+class TestFleetCheckpoint:
+    def test_resume_skips_checkpointed_shards(self, tmp_path):
+        # §7: completed shards persist as they land; a resumed campaign
+        # re-runs only the rest.  The sentinel iteration count proves
+        # shard 0's report was loaded, not re-computed.
+        config = fleet_config()
+        ckpt = tmp_path / "fleet.ckpt"
+        report = run_fleet(config, local_workers=2, checkpoint=str(ckpt))
+        full_fingerprints = fingerprints(report)
+        state = load_checkpoint(ckpt)
+        assert sorted(state["completed"]) == [0, 1, 2, 3]
+
+        state["completed"][0].iterations = 123_456  # sentinel
+        del state["completed"][2]
+        save_checkpoint(
+            ckpt,
+            fingerprint=state["fingerprint"],
+            specs=state["specs"],
+            completed=state["completed"],
+        )
+
+        events_path = tmp_path / "resume.events.jsonl"
+        resumed = run_fleet(
+            config.with_overrides(events_path=str(events_path)),
+            local_workers=2,
+            resume=str(ckpt),
+        )
+        # Shard 0 was not re-run (sentinel survived); shard 2 was.
+        assert resumed.sub_reports[0].iterations == 123_456
+        assert resumed.sub_reports[2].iterations == config.max_iterations
+        assigned = [
+            event["shard"] for event in read_events(events_path)
+            if event["type"] == "fleet_work_assigned"
+        ]
+        assert 0 not in assigned and 1 not in assigned and 3 not in assigned
+        assert 2 in assigned
+        assert fingerprints(resumed) == full_fingerprints
+
+    def test_resume_refuses_foreign_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "fleet.ckpt"
+        run_fleet(fleet_config(), local_workers=1, checkpoint=str(ckpt))
+        other = fleet_config(max_iterations=999)
+        with pytest.raises(PSharpError, match="different campaign"):
+            run_fleet(other, local_workers=1, resume=str(ckpt))
+
+
+def run_cli_process(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+class TestFleetCli:
+    def test_serve_submit_round_trip(self, tmp_path):
+        campaign_file = tmp_path / "campaign.json"
+        fleet_config().save(campaign_file)
+        serve = run_cli_process(
+            "serve", "--config", str(campaign_file), "--port", "0",
+            "--expect-bug",
+        )
+        try:
+            banner = serve.stdout.readline()
+            assert banner.startswith("fleet: listening on "), banner
+            port = int(banner.rsplit(":", 1)[1])
+            submit = run_cli_process(
+                "submit", "--host", "127.0.0.1", "--port", str(port),
+                "--workers", "2",
+            )
+            _, submit_err = submit.communicate(timeout=90)
+            stdout, stderr = serve.communicate(timeout=90)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.communicate()
+        assert submit.returncode == 0, submit_err
+        assert "2/2 worker(s) completed cleanly" in submit_err
+        assert serve.returncode == 0, stdout + stderr
+        assert "bug:" in stdout
+
+    def test_serve_sigint_checkpoints_and_exits_130(self, tmp_path):
+        # §7: SIGINT flushes a checkpoint and exits with the
+        # conventional 128+SIGINT code, like the local portfolio CLI.
+        campaign_file = tmp_path / "campaign.json"
+        ckpt = tmp_path / "fleet.ckpt"
+        TestConfig(
+            program="tests.machines:Ping",
+            specs=(
+                StrategySpec("random", {"seed": 1}),
+                StrategySpec("random", {"seed": 2}),
+            ),
+            max_iterations=10_000_000,
+            time_limit=60.0,
+            stop_on_first_bug=False,
+        ).save(campaign_file)
+        serve = run_cli_process(
+            "serve", "--config", str(campaign_file),
+            "--workers", "2", "--checkpoint", str(ckpt),
+        )
+        try:
+            time.sleep(3.0)  # let the workers spin up mid-shard
+            serve.send_signal(signal.SIGINT)
+            stdout, stderr = serve.communicate(timeout=30)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.communicate()
+        assert serve.returncode == 130, stdout + stderr
+        assert "campaign interrupted (partial results)" in stdout
+        state = load_checkpoint(ckpt)
+        assert state["fingerprint"]
+
+    def test_worker_requires_exactly_one_transport(self):
+        proc = run_cli_process("worker")
+        _, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 2
+        assert "exactly one of --stdio or --host" in stderr
+
+    def test_serve_requires_a_worker_source(self, tmp_path):
+        campaign_file = tmp_path / "campaign.json"
+        fleet_config().save(campaign_file)
+        proc = run_cli_process("serve", "--config", str(campaign_file))
+        _, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 2
+        assert "worker source" in stderr

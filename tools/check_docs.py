@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Keep the docs honest: link-check the markdown tree and execute the
+shell examples.
+
+Two checks, both run by the CI docs lane:
+
+``--links``
+    Every relative markdown link in ``README.md`` and ``docs/**/*.md``
+    must point at a file that exists, and a ``#fragment`` must match a
+    heading in the target file (GitHub slug rules).  Absolute URLs are
+    ignored — this repo's CI has no network.
+
+``--run-blocks``
+    Every fenced ``sh`` code block in the given files (default:
+    ``docs/cli.md``) is executed with ``bash -euo pipefail`` from the
+    repo root and must exit 0 — documented commands cannot rot.
+
+Exit code 0 when everything passes, 1 with one line per failure
+otherwise.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+ROOT = Path(__file__).resolve().parents[1]
+
+FENCE_RE = re.compile(r"^(```|~~~)")
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def doc_files() -> List[Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def strip_code(lines: Iterable[str]) -> List[str]:
+    """Drop fenced blocks entirely and inline code spans per line, so
+    example snippets never register as links or headings."""
+    kept = []
+    fence = None
+    for line in lines:
+        match = FENCE_RE.match(line.strip())
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is None:
+            kept.append(re.sub(r"`[^`]*`", "``", line))
+    return kept
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop everything but word
+    characters / spaces / hyphens, spaces become hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def fenced_stripped(lines: Iterable[str]) -> List[str]:
+    """Drop fenced blocks but keep inline code (headings slug its text)."""
+    kept = []
+    fence = None
+    for line in lines:
+        match = FENCE_RE.match(line.strip())
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is None:
+            kept.append(line)
+    return kept
+
+
+def anchors_in(path: Path) -> set:
+    slugs: dict = {}
+    out = set()
+    for line in fenced_stripped(path.read_text(encoding="utf-8").splitlines()):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        # GitHub de-duplicates repeated headings with -1, -2, ...
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        out.add(slug if count == 0 else f"{slug}-{count}")
+    return out
+
+
+def check_links() -> List[str]:
+    errors = []
+    for doc in doc_files():
+        rel = doc.relative_to(ROOT)
+        for line_no, line in enumerate(
+            strip_code(doc.read_text(encoding="utf-8").splitlines()), start=1
+        ):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target) or target.startswith(
+                    "//"
+                ):
+                    continue  # absolute URL (https:, mailto:, ...)
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = (doc.parent / path_part).resolve()
+                    if not resolved.exists():
+                        errors.append(
+                            f"{rel}:{line_no}: broken link {target!r} "
+                            f"({path_part} does not exist)"
+                        )
+                        continue
+                else:
+                    resolved = doc
+                if fragment:
+                    if resolved.suffix != ".md":
+                        continue
+                    if fragment not in anchors_in(resolved):
+                        errors.append(
+                            f"{rel}:{line_no}: broken anchor {target!r} "
+                            f"(no heading slugs to #{fragment} in "
+                            f"{resolved.relative_to(ROOT)})"
+                        )
+    return errors
+
+
+def shell_blocks(path: Path) -> List[Tuple[int, str]]:
+    blocks = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    start = 0
+    chunk: List[str] = []
+    for line_no, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block and stripped in ("```sh", "```bash", "```shell"):
+            in_block = True
+            start = line_no
+            chunk = []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append((start, "\n".join(chunk)))
+        elif in_block:
+            chunk.append(line)
+    return blocks
+
+
+def run_blocks(paths: List[Path]) -> List[str]:
+    errors = []
+    for path in paths:
+        rel = path.relative_to(ROOT)
+        blocks = shell_blocks(path)
+        if not blocks:
+            errors.append(f"{rel}: no fenced sh blocks found (doc renamed?)")
+            continue
+        for line_no, script in blocks:
+            print(f"-- {rel}:{line_no}", flush=True)
+            proc = subprocess.run(
+                ["bash", "-euo", "pipefail", "-c", script],
+                cwd=ROOT,
+                timeout=600,
+            )
+            if proc.returncode != 0:
+                errors.append(
+                    f"{rel}:{line_no}: block exited {proc.returncode}"
+                )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links", action="store_true", help="check intra-repo markdown links"
+    )
+    parser.add_argument(
+        "--run-blocks",
+        action="store_true",
+        help="execute fenced sh blocks (default files: docs/cli.md)",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files for --run-blocks (default: docs/cli.md)",
+    )
+    args = parser.parse_args(argv)
+    if not (args.links or args.run_blocks):
+        parser.error("pass --links and/or --run-blocks")
+
+    errors: List[str] = []
+    if args.links:
+        errors.extend(check_links())
+    if args.run_blocks:
+        files = [f.resolve() for f in args.files] or [ROOT / "docs" / "cli.md"]
+        errors.extend(run_blocks(files))
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        checked = []
+        if args.links:
+            checked.append(f"links in {len(doc_files())} file(s)")
+        if args.run_blocks:
+            checked.append("all sh blocks ran clean")
+        print("docs ok: " + ", ".join(checked))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
