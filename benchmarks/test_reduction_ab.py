@@ -1,0 +1,248 @@
+"""Schedule-space reduction A/B + incremental enabled-set A/B.
+
+Two experiments ride the perf-smoke lane next to the back-end ladder:
+
+* **Reduction A/B** — the same exhaustive DFS campaign driven with
+  ``reduction="none"``, ``"dpor"`` and ``"dpor+state-cache"``.  Schedule
+  counts under DFS exhaustion are *deterministic* (they count tree
+  nodes, not wall-clock), so the gates are exact: every arm reports the
+  identical distinct-bug set, and DPOR explores at most 0.6x the
+  unreduced schedules on every measured benchmark.
+* **Enabled-set A/B** — the incremental enabled-set bookkeeping
+  (``BugFindingRuntime._schedulable``) against the pre-incremental
+  O(#machines) seat walk it replaced, on the two highest-machine-count
+  registry protocols (Raft, MultiPaxos), where the walk hurts most.
+  Wall-clock ratios on shared runners are noisy, so the gate is loose
+  (the incremental path must not *lose* throughput); the measured ratio
+  is recorded for trend inspection.
+
+Both experiments merge their rows into ``BENCH_throughput.json``
+(read-modify-write: the back-end ladder regenerates the file wholesale,
+so this file must run after it in CI — the perf-smoke job orders the
+steps that way).
+
+Run: ``pytest benchmarks/test_reduction_ab.py -s -m bench``
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get
+from repro.testing import BugFindingRuntime, DfsStrategy, RandomStrategy, drive
+from repro.testing.runtime import _IDLE, _NEW, _RUNNING
+
+pytestmark = pytest.mark.bench
+
+TRAJECTORY_FILE = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERS", "150"))
+
+#: Exhaustive-DFS reduction fixtures: (benchmark, max_depth, max_steps).
+#: Depths are chosen so the unreduced arm exhausts in a few thousand
+#: schedules; TokenRing's steps are capped because beyond ``max_depth``
+#: the DFS falls back to first-enabled and the ring spins out the
+#: default budget.
+REDUCTION_CASES = [
+    ("BoundedAsync", 8, 2_000),
+    ("TwoPhaseCommit", 8, 2_000),
+    ("TokenRing", 7, 200),
+]
+REDUCTION_GATE = 0.6  # reduced schedules <= 0.6x unreduced, per benchmark
+
+#: Enabled-set A/B fixtures: high machine count makes the O(#machines)
+#: walk expensive per scheduling point.
+ENABLED_SET_BENCHMARKS = ["Raft", "MultiPaxos"]
+#: The incremental path must at minimum not lose throughput; in practice
+#: it wins and the measured ratio lands in the trajectory file.
+ENABLED_SET_GATE = 0.9
+
+
+def _merge_trajectory(key, payload):
+    """Read-modify-write ``BENCH_throughput.json``: the ladder bench
+    overwrites the file wholesale, so reduction rows are folded in
+    afterwards instead of racing it for the whole file."""
+    data = {}
+    if TRAJECTORY_FILE.exists():
+        data = json.loads(TRAJECTORY_FILE.read_text())
+    data[key] = payload
+    TRAJECTORY_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Reduction A/B: same bugs, deterministically fewer schedules
+# ---------------------------------------------------------------------------
+def _exhaustive(name, depth, max_steps, mode):
+    variant = get(name).buggy
+    return drive(
+        variant.main,
+        variant.payload,
+        DfsStrategy(max_depth=depth),
+        max_iterations=500_000,
+        time_limit=240.0,
+        max_steps=max_steps,
+        stop_on_first_bug=False,
+        workers="inline",
+        monitors=tuple(variant.monitors),
+        reduction=mode,
+    )
+
+
+def test_reduction_ab_ladder(capsys):
+    """none -> dpor -> dpor+state-cache on every fixture: identical
+    distinct-bug sets, and DPOR clears the 0.6x gate (exact, not a
+    timing measurement)."""
+    rows = {}
+    for name, depth, max_steps in REDUCTION_CASES:
+        arms = {}
+        for mode in ("none", "dpor", "dpor+state-cache"):
+            start = time.perf_counter()
+            report = _exhaustive(name, depth, max_steps, mode)
+            elapsed = time.perf_counter() - start
+            assert report.exhausted, (
+                f"{name} ({mode}) did not exhaust its schedule tree"
+            )
+            arms[mode] = {
+                "schedules": report.iterations,
+                "distinct_states": report.distinct_states,
+                "schedules_pruned": report.schedules_pruned,
+                "redundancy_ratio": round(report.redundancy_ratio, 3),
+                "bugs": sorted({(b.kind, b.message) for b in report.bugs}),
+                "elapsed_sec": round(elapsed, 2),
+            }
+        base, dpor, cached = (
+            arms["none"], arms["dpor"], arms["dpor+state-cache"]
+        )
+        assert dpor["bugs"] == base["bugs"], f"{name}: DPOR changed the bug set"
+        assert cached["bugs"] == base["bugs"], (
+            f"{name}: state caching changed the bug set"
+        )
+        assert dpor["schedules"] <= REDUCTION_GATE * base["schedules"], (
+            f"{name}: DPOR explored {dpor['schedules']} of "
+            f"{base['schedules']} schedules (gate {REDUCTION_GATE}x)"
+        )
+        assert cached["schedules"] < dpor["schedules"], (
+            f"{name}: the state cache did not prune beyond DPOR"
+        )
+        for mode in arms:  # JSON-encodable bug identities
+            arms[mode]["bugs"] = [list(bug) for bug in arms[mode]["bugs"]]
+        rows[name] = {
+            "max_depth": depth,
+            "max_steps": max_steps,
+            "arms": arms,
+            "dpor_ratio": round(dpor["schedules"] / base["schedules"], 3),
+            "cache_ratio": round(cached["schedules"] / base["schedules"], 3),
+        }
+
+    _merge_trajectory("reduction", {
+        "strategy": "dfs (exhaustive)",
+        "gate": {"max_ratio": REDUCTION_GATE, "per_benchmark": True},
+        "benchmarks": rows,
+    })
+
+    with capsys.disabled():
+        print()
+        for name, row in rows.items():
+            arms = row["arms"]
+            print(
+                f"  {name:16s} none {arms['none']['schedules']:6d}"
+                f"  dpor {arms['dpor']['schedules']:6d}"
+                f" (x{row['dpor_ratio']:.3f})"
+                f"  +cache {arms['dpor+state-cache']['schedules']:6d}"
+                f" (x{row['cache_ratio']:.3f})"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Enabled-set A/B: incremental bookkeeping vs the O(#machines) seat walk
+# ---------------------------------------------------------------------------
+class _WalkRuntime(BugFindingRuntime):
+    """The pre-incremental enabled-set computation: a full seat walk with
+    dirty-bit memoization at every scheduling point.  The incremental
+    bookkeeping stays consistent (``_enabled`` is resynced to the walk's
+    verdict, pending wake-ups are consumed) so the idle-entry and halt
+    removal paths behave exactly as they do on the real runtime."""
+
+    def _schedulable(self):
+        enabled = []
+        append = enabled.append
+        for worker in self._worker_list:
+            state = worker.state
+            if state is _RUNNING or state is _NEW:
+                append(worker.mid)
+            elif state is _IDLE:
+                machine = worker.machine
+                if machine._inbox_dirty:
+                    machine._inbox_dirty = False
+                    if not machine._idle_deliverable:
+                        machine._idle_deliverable = machine._has_deliverable()
+                if machine._idle_deliverable:
+                    append(worker.mid)
+        self._enabled[:] = enabled
+        self._idle_pending.clear()
+        return enabled
+
+
+def _throughput(name, runtime_factory, trials=2):
+    """Best-of-``trials`` #Sch/sec (best-of damps host noise)."""
+    variant = get(name).buggy
+    best = 0.0
+    for _ in range(trials):
+        report = drive(
+            variant.main,
+            variant.payload,
+            RandomStrategy(seed=7),
+            max_iterations=ITERATIONS,
+            time_limit=120.0,
+            max_steps=5_000,
+            stop_on_first_bug=False,
+            workers="inline",
+            runtime_factory=runtime_factory,
+        )
+        assert report.iterations == ITERATIONS
+        best = max(best, report.schedules_per_second)
+    return best
+
+
+def test_enabled_set_ab(capsys):
+    """Incremental enabled set vs the seat walk on the high-machine-count
+    protocols: record the ratio, gate only on not losing throughput."""
+    rows = {}
+    for name in ENABLED_SET_BENCHMARKS:
+        walk = _throughput(name, _WalkRuntime)
+        incremental = _throughput(name, None)
+        rows[name] = {
+            "walk_sch_per_sec": round(walk, 1),
+            "incremental_sch_per_sec": round(incremental, 1),
+            "speedup": round(incremental / walk, 2),
+        }
+
+    aggregate_walk = sum(r["walk_sch_per_sec"] for r in rows.values())
+    aggregate_incremental = sum(
+        r["incremental_sch_per_sec"] for r in rows.values()
+    )
+    _merge_trajectory("enabled_set_ab", {
+        "strategy": "random(seed=7)",
+        "iterations_per_benchmark": ITERATIONS,
+        "benchmarks": rows,
+        "aggregate": {
+            "walk_sch_per_sec": round(aggregate_walk, 1),
+            "incremental_sch_per_sec": round(aggregate_incremental, 1),
+            "speedup": round(aggregate_incremental / aggregate_walk, 2),
+        },
+    })
+
+    with capsys.disabled():
+        print()
+        for name, row in rows.items():
+            print(
+                f"  {name:16s} walk {row['walk_sch_per_sec']:8.1f}/s"
+                f"  incremental {row['incremental_sch_per_sec']:8.1f}/s"
+                f"  x{row['speedup']:.2f}"
+            )
+
+    assert aggregate_incremental >= ENABLED_SET_GATE * aggregate_walk, (
+        f"incremental enabled set lost throughput: {rows}"
+    )

@@ -67,6 +67,7 @@ from .errors import PSharpError
 from .testing.config import Campaign, TestConfig
 from .testing.faults import FaultConfig
 from .testing.portfolio import StrategySpec, strategy_names
+from .testing.reduction import DEFAULT_STATE_CACHE_SIZE, REDUCTION_MODES
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -191,6 +192,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--iteration-timeout", type=float, metavar="SECONDS",
         help="per-iteration watchdog: cancel an execution stuck longer "
         "than this and continue the campaign (counted as watchdog hits)",
+    )
+    reduction = test.add_argument_group(
+        "schedule-space reduction",
+        "explore fewer schedules without missing bugs (docs/reduction.md)",
+    )
+    reduction.add_argument(
+        "--reduction", choices=REDUCTION_MODES, default=None,
+        help="reduction mode: dpor (dynamic partial-order reduction on "
+        "DFS-family strategies), dpor+state-cache (adds fingerprint "
+        "state caching for every strategy), dpor+state-cache+clauses "
+        "(learns prefix clauses from cache hits); default: none",
+    )
+    reduction.add_argument(
+        "--state-cache-size", type=int, metavar="N", default=None,
+        help="bound on the state cache (entries, LRU-evicted; default: "
+        f"{DEFAULT_STATE_CACHE_SIZE})",
     )
     test.add_argument(
         "--checkpoint", metavar="FILE",
@@ -395,6 +412,10 @@ def _cmd_test(args: argparse.Namespace) -> int:
             overrides["coverage"] = True
         if args.events is not None:
             overrides["events_path"] = args.events
+        if args.reduction is not None:
+            overrides["reduction"] = args.reduction
+        if args.state_cache_size is not None:
+            overrides["state_cache_size"] = args.state_cache_size
         if overrides:
             config = config.with_overrides(**overrides)
         portfolio = (
@@ -437,6 +458,12 @@ def _cmd_test(args: argparse.Namespace) -> int:
         iteration_timeout=args.iteration_timeout,
         coverage=args.coverage or args.coverage_report is not None,
         events_path=args.events,
+        reduction=args.reduction if args.reduction is not None else "none",
+        state_cache_size=(
+            args.state_cache_size
+            if args.state_cache_size is not None
+            else DEFAULT_STATE_CACHE_SIZE
+        ),
     )
     if portfolio and len(specs) == 1 and args.portfolio is None:
         # --checkpoint/--resume with one --strategy: that one spec is the

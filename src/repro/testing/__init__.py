@@ -24,6 +24,12 @@ from .fleet import (
     run_fleet,
     worker_loop,
 )
+from .reduction import (
+    DEFAULT_STATE_CACHE_SIZE,
+    REDUCTION_MODES,
+    ReductionEngine,
+    normalize_reduction,
+)
 from .reporting import (
     coverage_dot,
     coverage_table,
@@ -74,6 +80,10 @@ __all__ = [
     "coverage_table",
     "report_json",
     "coverage_dot",
+    "ReductionEngine",
+    "REDUCTION_MODES",
+    "DEFAULT_STATE_CACHE_SIZE",
+    "normalize_reduction",
     "TestingEngine",
     "TestReport",
     "drive",

@@ -42,6 +42,7 @@ from ..core.machine import Machine
 from ..errors import PSharpError
 from .engine import TestReport, drive, replay
 from .faults import FaultConfig
+from .reduction import DEFAULT_STATE_CACHE_SIZE, normalize_reduction
 from .monitors import Monitor
 from .portfolio import (
     _SEEDED,
@@ -126,6 +127,8 @@ _JSON_FIELDS = (
     "iteration_timeout",
     "coverage",
     "events_path",
+    "reduction",
+    "state_cache_size",
 )
 
 _FAULT_JSON_FIELDS = (
@@ -297,6 +300,18 @@ class TestConfig:
         (:class:`~repro.testing.telemetry.EventLog`): campaign/shard
         spans, progress, bug/watchdog/checkpoint events, worker
         heartbeats and respawns.  Appended to, multi-process safe.
+    reduction:
+        Schedule-space reduction mode (:mod:`repro.testing.reduction`):
+        ``"none"`` (default), ``"dpor"`` (dynamic partial-order
+        reduction on the DFS-family strategies), ``"dpor+state-cache"``
+        (adds fingerprint-based state caching for every strategy), or
+        ``"dpor+state-cache+clauses"`` (additionally learns prefix
+        clauses from cache hits).  Reduction stats surface as
+        ``TestReport.distinct_states`` / ``schedules_pruned``.
+    state_cache_size:
+        Bound on the state cache (entries; least-recently-seen states
+        are evicted).  Only meaningful when ``reduction`` includes the
+        state cache.
     """
 
     __test__ = False
@@ -322,6 +337,8 @@ class TestConfig:
     iteration_timeout: Optional[float] = None
     coverage: bool = False
     events_path: Optional[str] = None
+    reduction: str = "none"
+    state_cache_size: int = DEFAULT_STATE_CACHE_SIZE
 
     def __post_init__(self) -> None:
         if not (
@@ -361,6 +378,12 @@ class TestConfig:
         if self.iteration_timeout is not None and self.iteration_timeout <= 0:
             raise PSharpError("iteration_timeout must be positive (or None)")
         object.__setattr__(self, "coverage", bool(self.coverage))
+        object.__setattr__(self, "reduction", normalize_reduction(self.reduction))
+        if not isinstance(self.state_cache_size, int) or self.state_cache_size < 1:
+            raise PSharpError(
+                f"state_cache_size must be a positive integer, got "
+                f"{self.state_cache_size!r}"
+            )
         if self.events_path is not None:
             import os
 
@@ -472,6 +495,8 @@ class TestConfig:
             "iteration_timeout": self.iteration_timeout,
             "coverage": self.coverage,
             "events_path": self.events_path,
+            "reduction": self.reduction,
+            "state_cache_size": self.state_cache_size,
         }
 
     def to_json(self) -> str:
@@ -664,6 +689,8 @@ class Campaign:
                 iteration_timeout=config.iteration_timeout,
                 coverage=config.coverage,
                 events=events,
+                reduction=config.reduction,
+                state_cache_size=config.state_cache_size,
             )
         finally:
             if events is not None:

@@ -38,6 +38,7 @@ from ..core.machine import Machine
 from ..errors import BugReport
 from .coverage import CoverageMap
 from .faults import FaultConfig, outcome_name
+from .reduction import DEFAULT_STATE_CACHE_SIZE, ReductionEngine, normalize_reduction
 from .runtime import BugFindingRuntime, ExecutionResult
 from .strategies import ReplayStrategy, SchedulingStrategy
 from .telemetry import EventLog, TelemetryStats
@@ -97,6 +98,12 @@ class TestReport:
     consulted_decisions: int = 0
     coverage: Optional[CoverageMap] = None
     telemetry: Optional[TelemetryStats] = None
+    # Schedule-space reduction (repro.testing.reduction): distinct program
+    # states fingerprinted by the campaign's state cache, and schedules
+    # (or whole DFS subtrees) the reduction machinery cut off as
+    # redundant.  Both zero when the campaign ran with reduction="none".
+    distinct_states: int = 0
+    schedules_pruned: int = 0
 
     @property
     def bug_found(self) -> bool:
@@ -115,6 +122,14 @@ class TestReport:
     @property
     def percent_buggy(self) -> float:
         return 100.0 * self.buggy_iterations / self.iterations if self.iterations else 0.0
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Fraction of the explored-or-cut schedule space the reduction
+        machinery proved redundant: pruned schedules over pruned plus
+        executed.  0.0 when reduction was off (nothing was pruned)."""
+        total = self.iterations + self.schedules_pruned
+        return self.schedules_pruned / total if total else 0.0
 
     @property
     def distinct_bugs(self) -> int:
@@ -142,6 +157,12 @@ class TestReport:
             parts.append(f", distinct={self.distinct_bugs}")
         if self.watchdog_hits:
             parts.append(f", watchdog={self.watchdog_hits}")
+        if self.distinct_states or self.schedules_pruned:
+            parts.append(
+                f", states={self.distinct_states}, "
+                f"pruned={self.schedules_pruned} "
+                f"({100.0 * self.redundancy_ratio:.0f}% redundant)"
+            )
         if self.faults_injected:
             parts.append(f", faults={self.faults_injected}")
         if self.effective_backend is not None:
@@ -178,6 +199,11 @@ class TestReport:
         for kind, count in other.fault_kinds.items():
             self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + count
         self.consulted_decisions += other.consulted_decisions
+        # Distinct-state counts sum across shards: each shard's cache is
+        # private, so the merged figure over-counts states two shards both
+        # visited — an upper bound, like summing coverage before dedup.
+        self.distinct_states += other.distinct_states
+        self.schedules_pruned += other.schedules_pruned
         if other.coverage is not None:
             if self.coverage is None:
                 self.coverage = other.coverage.copy()
@@ -244,6 +270,8 @@ class TestReport:
             effective_backend=self.effective_backend,
             faults_injected=self.faults_injected,
             consulted_decisions=self.consulted_decisions,
+            distinct_states=self.distinct_states,
+            schedules_pruned=self.schedules_pruned,
         )
         clone.fault_kinds = dict(self.fault_kinds)
         if self.coverage is not None:
@@ -278,6 +306,8 @@ def drive(
     iteration_timeout: Optional[float] = None,
     coverage: bool = False,
     events: Optional[EventLog] = None,
+    reduction: str = "none",
+    state_cache_size: int = DEFAULT_STATE_CACHE_SIZE,
 ) -> TestReport:
     """The iteration loop shared by :class:`TestingEngine` and portfolio
     workers: run up to ``max_iterations`` schedules under ``strategy``.
@@ -323,9 +353,22 @@ def drive(
     bit-identical to an explicit pooled run).  ``events`` streams
     shard-level progress to a :class:`~repro.testing.telemetry.EventLog`;
     execution-shape telemetry (``report.telemetry``) is always on.
+
+    ``reduction`` selects the schedule-space reduction mode
+    (:data:`repro.testing.reduction.REDUCTION_MODES`): ``"dpor"`` arms
+    dynamic partial-order reduction on the DFS-family strategies,
+    ``"dpor+state-cache"`` adds fingerprint-based state caching (bounded
+    at ``state_cache_size`` entries) for every strategy, and
+    ``"dpor+state-cache+clauses"`` additionally learns prefix clauses
+    from cache hits.  A fresh :class:`~repro.testing.reduction
+    .ReductionEngine` is built per campaign loop entry, so the auto→pool
+    restart starts from an empty cache and stays bit-identical to an
+    explicit pooled run; reduction stats land in
+    ``report.distinct_states`` / ``report.schedules_pruned``.
     """
     if deadline is None and time_limit is not None:
         deadline = time.monotonic() + time_limit
+    reduction = normalize_reduction(reduction)
     try:
         return _campaign_loop(
             main_cls, payload, strategy,
@@ -337,6 +380,7 @@ def drive(
             max_hot_steps=max_hot_steps, faults=faults,
             iteration_timeout=iteration_timeout,
             coverage=coverage, events=events,
+            reduction=reduction, state_cache_size=state_cache_size,
         )
     except InlineCompileError:
         if workers != "auto":
@@ -357,6 +401,7 @@ def drive(
             max_hot_steps=max_hot_steps, faults=faults,
             iteration_timeout=iteration_timeout,
             coverage=coverage, events=events,
+            reduction=reduction, state_cache_size=state_cache_size,
         )
 
 
@@ -380,12 +425,25 @@ def _campaign_loop(
     iteration_timeout: Optional[float],
     coverage: bool,
     events: Optional[EventLog],
+    reduction: str,
+    state_cache_size: int,
 ) -> TestReport:
     factory = runtime_factory or BugFindingRuntime
     report = TestReport(strategy=strategy.name)
     # A fresh map per loop entry: the auto→pool restart re-enters here
     # and must not double-count the aborted inline attempt's coverage.
     cov = CoverageMap() if coverage else None
+    # Likewise a fresh reduction engine: the restarted pooled campaign
+    # must make every caching decision from scratch (same schedule, empty
+    # cache) to stay bit-identical to an explicit workers="pool" run.
+    red = (
+        ReductionEngine(reduction, state_cache_size)
+        if reduction != "none"
+        else None
+    )
+    # Always (re)attached, so a strategy reused across drive() calls never
+    # keeps a stale engine from a previous campaign.
+    strategy.attach_reduction(red)
     stats = TelemetryStats()
     start = time.perf_counter()
 
@@ -407,6 +465,8 @@ def _campaign_loop(
             # Only added when collection is on, so custom runtime
             # factories without the parameter keep working unchanged.
             kwargs["coverage"] = cov
+        if red is not None:
+            kwargs["reduction"] = red
         return factory(**kwargs)
 
     runtime = build_runtime()
@@ -513,7 +573,16 @@ def _campaign_loop(
     report.elapsed = time.perf_counter() - start
     report.coverage = cov
     report.telemetry = stats
+    if red is not None:
+        report.distinct_states = red.distinct_states
+        report.schedules_pruned = red.schedules_pruned
     if events is not None:
+        extra = {}
+        if red is not None:
+            extra = dict(
+                distinct_states=red.distinct_states,
+                schedules_pruned=red.schedules_pruned,
+            )
         events.emit(
             "shard_end",
             iterations=report.iterations,
@@ -521,6 +590,7 @@ def _campaign_loop(
             elapsed=round(report.elapsed, 3),
             exhausted=report.exhausted,
             timed_out=report.timed_out,
+            **extra,
         )
     return report
 

@@ -477,6 +477,8 @@ def worker_loop(
             iteration_timeout=config.iteration_timeout,
             coverage=config.coverage,
             events=events,
+            reduction=config.reduction,
+            state_cache_size=config.state_cache_size,
         )
         conn.send(
             {

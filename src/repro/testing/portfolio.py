@@ -47,6 +47,7 @@ from .checkpoint import (
     verify_checkpoint,
 )
 from .engine import TestReport, drive, replay
+from .reduction import DEFAULT_STATE_CACHE_SIZE
 from .runtime import ExecutionResult
 from .telemetry import EventLog
 from .strategies import (
@@ -256,6 +257,8 @@ def _portfolio_worker(
             iteration_timeout=config.get("iteration_timeout"),
             coverage=config.get("coverage", False),
             events=events,
+            reduction=config.get("reduction", "none"),
+            state_cache_size=config.get("state_cache_size", DEFAULT_STATE_CACHE_SIZE),
         )
         if config["stop_on_first_bug"] and report.first_bug is not None:
             cancel.set()
@@ -420,6 +423,8 @@ def run_portfolio(
         "iteration_timeout": config.iteration_timeout,
         "coverage": config.coverage,
         "events_path": config.events_path,
+        "reduction": config.reduction,
+        "state_cache_size": config.state_cache_size,
     }
     # Parent-side event stream: campaign lifecycle, worker supervision
     # and checkpoint writes.  Workers append shard-tagged records to the

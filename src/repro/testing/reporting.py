@@ -217,6 +217,14 @@ def report_json(report: TestReport) -> Dict[str, Any]:
         "faults_injected": report.faults_injected,
         "fault_kinds": dict(report.fault_kinds),
         "consulted_decisions": report.consulted_decisions,
+        # Schedule-space reduction: distinct fingerprinted states, pruned
+        # schedules/subtrees, and the redundancy they imply.  Summed
+        # across shards by TestReport.merge (per-shard caches are
+        # private, so the merged distinct-state figure is an upper
+        # bound); all zero when the campaign ran with reduction="none".
+        "distinct_states": report.distinct_states,
+        "schedules_pruned": report.schedules_pruned,
+        "redundancy_ratio": report.redundancy_ratio,
         "first_bug": (
             None if report.first_bug is None else {
                 "kind": report.first_bug.kind,

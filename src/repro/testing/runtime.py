@@ -52,9 +52,12 @@ from __future__ import annotations
 import os
 import threading
 import time
+from bisect import insort
 from dataclasses import dataclass
 from enum import Enum
+from hashlib import blake2b
 from itertools import chain
+from operator import attrgetter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..core.continuations import (
@@ -85,6 +88,7 @@ from .faults import (
     FaultConfig,
 )
 from .monitors import EMachineHalted, Monitor, has_hot_states
+from .reduction import REASON_CLAUSE, ReductionEngine, stable_update
 from .strategies import SchedulingStrategy
 from .trace import (
     BOOL_TAG,
@@ -92,6 +96,7 @@ from .trace import (
     INT_TAG,
     LIVENESS_TAG,
     MONITOR_TAG,
+    REDUCTION_TAG,
     SCHED_TAG,
     ScheduleTrace,
 )
@@ -102,6 +107,11 @@ _NO_DEADLINE = float("inf")
 # Sentinel for "nothing to send into an inline activation" (None is a
 # legitimate send value: it resumes a plain send's yield).
 _NO_VALUE = object()
+
+# Sort key for the incrementally-maintained enabled set: machine ids are
+# ordered by their allocation counter, matching the seat order the full
+# _schedulable_walk produces (ids have no __lt__ of their own).
+_MID_VALUE = attrgetter("value")
 
 
 class _WorkerState(Enum):
@@ -121,7 +131,10 @@ _DONE = _WorkerState.DONE
 class ExecutionResult:
     """Outcome of a single controlled execution (one schedule)."""
 
-    status: str  # "ok" | "bug" | "depth-bound" | "time-bound" | "stopped" | "watchdog"
+    # "ok" | "bug" | "depth-bound" | "time-bound" | "stopped" | "watchdog"
+    # | "pruned" (schedule-space reduction: the execution reached a state
+    # the campaign had already explored and was abandoned early)
+    status: str
     steps: int
     scheduling_points: int
     trace: Optional[ScheduleTrace]
@@ -406,6 +419,15 @@ class BugFindingRuntime(RuntimeBase):
         three back-ends, so for a fixed strategy seed the resulting map
         is bit-identical across inline/pool/spawn.  ``None`` (default)
         disables collection; the hooks then cost one boolean/None test.
+    reduction:
+        A :class:`~repro.testing.reduction.ReductionEngine` arming
+        schedule-space reduction.  The runtime reports each step's
+        object footprint to it (the independence oracle), consults its
+        state cache at every scheduling point — abandoning executions
+        that reach an already-explored state with status ``"pruned"``
+        and a ``"reduction"`` trace record — and feeds it the step log
+        the DFS strategies' DPOR analysis mines for races.  ``None``
+        (the default) keeps every reduction hook dark.
     """
 
     # How many scheduling steps between deadline/stop_check polls: the
@@ -431,6 +453,7 @@ class BugFindingRuntime(RuntimeBase):
         faults: Optional[FaultConfig] = None,
         iteration_timeout: Optional[float] = None,
         coverage: Optional[CoverageMap] = None,
+        reduction: Optional[ReductionEngine] = None,
     ) -> None:
         super().__init__()
         if workers not in ("auto", "inline", "pool", "spawn"):
@@ -505,6 +528,16 @@ class BugFindingRuntime(RuntimeBase):
             raise ValueError(f"coverage must be a CoverageMap, got {coverage!r}")
         self._cov = coverage
         self._hook_state = coverage is not None
+        # Schedule-space reduction (repro.testing.reduction): like the
+        # coverage map, the engine spans the whole campaign while the
+        # runtime feeds it per-execution facts.  Armed before the
+        # construction-time reset() below, which keys per-execution
+        # reduction state off it.
+        if reduction is not None and not isinstance(reduction, ReductionEngine):
+            raise ValueError(
+                f"reduction must be a ReductionEngine, got {reduction!r}"
+            )
+        self._red = reduction
         # Per-execution state (see reset()).  Initialized non-virtually so
         # subclass __init__ order cannot break construction.
         BugFindingRuntime.reset(self)
@@ -528,6 +561,26 @@ class BugFindingRuntime(RuntimeBase):
         # Execution state.
         self._workers: Dict[MachineId, Any] = {}
         self._worker_list: List[Any] = []  # in machine-creation order
+        # The schedulable set, maintained incrementally (sorted by machine
+        # id, i.e. creation order — the order the old per-point walk
+        # produced): _spawn adds, idle-entry and halt remove, and
+        # _idle_pending holds idle seats whose deliverability must be
+        # re-checked (an enqueue landed since they idled) at the next
+        # scheduling point.  See _schedulable.
+        self._enabled: List[MachineId] = []
+        self._idle_pending: List[Any] = []
+        # Per-machine log of nondeterministic outcomes (bool/int/fault)
+        # consumed this execution, keyed by machine id value.  Part of the
+        # state fingerprint: two states are only equivalent if every
+        # machine's *suspended handler* is at the same position, and a
+        # handler's position is determined by the machine's visible state
+        # plus the nondeterminism it consumed.  Schedule permutations of
+        # independent steps preserve each machine's own log, so diamonds
+        # still merge.  None (no allocation, no appends) unless the
+        # reduction engine's state cache is armed.
+        self._nondet_log: Optional[Dict[int, List[int]]] = (
+            {} if self._red is not None and self._red.cache_on else None
+        )
         if self.effective_workers == "inline":
             # No waiting thread to signal: the trampoline runs the whole
             # execution synchronously inside execute().
@@ -657,11 +710,21 @@ class BugFindingRuntime(RuntimeBase):
             self._iter_deadline = time.monotonic() + self.iteration_timeout
         trace = ScheduleTrace() if self.record_trace else None
         self._trace = trace
+        red = self._red
+        if red is not None:
+            red.begin_execution()
+        # Consulted-decisions bookkeeping under reduction: DPOR frames
+        # that offer exactly one branch predetermine the pick, so those
+        # consultations are subtracted below — the telemetry ratio keeps
+        # meaning "decisions with real alternatives".
+        forced_base = getattr(self.strategy, "reduction_forced", 0)
         mid = self._spawn(main_cls, payload)
         # The very first decision is forced: only the main machine exists.
         self.strategy.observe_forced(mid)
         if trace is not None:
             trace.append(SCHED_TAG, mid.value)
+        if red is not None:
+            red.chose(mid.value, (mid.value,))
         if self.effective_workers == "inline":
             self._run_inline(self._workers[mid])
         else:
@@ -675,6 +738,14 @@ class BugFindingRuntime(RuntimeBase):
                     worker.thread.join(timeout=self._retire_timeout)
                 if any(w.thread.is_alive() for w in self._workers.values()):
                     self.tainted = True
+        consulted = self._consulted
+        if red is not None:
+            red.end_execution(trace)
+            reduction_forced = (
+                getattr(self.strategy, "reduction_forced", 0) - forced_base
+            )
+            if reduction_forced > 0:
+                consulted = max(0, consulted - reduction_forced)
         return ExecutionResult(
             status=self._status,
             steps=self._steps,
@@ -683,7 +754,7 @@ class BugFindingRuntime(RuntimeBase):
             bug=self._bug,
             faults_injected=self._faults_injected,
             fault_kinds=tuple(self._fault_kinds),
-            consulted=self._consulted,
+            consulted=consulted,
         )
 
     def _release_pool_workers(self) -> None:
@@ -728,13 +799,22 @@ class BugFindingRuntime(RuntimeBase):
         if cov is not None:
             cov.record_send(event, machine is None or machine._halted)
         if machine is not None and not machine._halted:
+            if self._red is not None:
+                # Independence oracle: the target inbox is part of this
+                # step's footprint (with or without a fault — the fault
+                # decision never commutes with its own send).
+                self._red.effects.append(target.value)
             # Message-fault consultation point (kept in sync with the
             # inlined OP_SEND blocks of _inline_body/_inline_drive).
             if self._send_fault_active and (fault := self._consult_send_fault()):
                 self._apply_send_fault(machine, event, fault)
             else:
                 machine._inbox.append(event)
-                machine._inbox_dirty = True
+                if not machine._inbox_dirty:
+                    machine._inbox_dirty = True
+                    worker = self._worker_list[target.value]
+                    if worker.state is _IDLE:
+                        self._idle_pending.append(worker)
                 if self._hook_visible:
                     self.on_visible_operation(machine, "enqueue")
         if sender is not None:
@@ -746,6 +826,9 @@ class BugFindingRuntime(RuntimeBase):
         value = self.strategy.pick_bool()
         if self._trace is not None:
             self._trace.append(BOOL_TAG, int(value))
+        log = self._nondet_log
+        if log is not None:
+            log.setdefault(machine.id.value, []).append(int(value))
         return value
 
     def nondet_int(self, machine: Machine, bound: int) -> int:
@@ -754,6 +837,9 @@ class BugFindingRuntime(RuntimeBase):
         value = self.strategy.pick_int(bound)
         if self._trace is not None:
             self._trace.append(INT_TAG, value)
+        log = self._nondet_log
+        if log is not None:
+            log.setdefault(machine.id.value, []).append(value)
         return value
 
     # ------------------------------------------------------------------
@@ -789,6 +875,12 @@ class BugFindingRuntime(RuntimeBase):
                 outcome = FAULT_NONE
         if self._trace is not None:
             self._trace.append(FAULT_TAG, outcome)
+        log = self._nondet_log
+        if log is not None and self._current is not None:
+            # Part of the sender's consumed-nondeterminism fingerprint: a
+            # dropped send leaves the same inboxes as no send at all, so
+            # the fault outcome itself must distinguish the two states.
+            log.setdefault(self._current.value, []).append(outcome)
         if outcome != FAULT_NONE:
             self._faults_injected += 1
             self._fault_kinds[outcome] += 1
@@ -815,7 +907,11 @@ class BugFindingRuntime(RuntimeBase):
                 inbox.insert(len(inbox) - 1, event)
             else:
                 inbox.append(event)
-        target._inbox_dirty = True
+        if not target._inbox_dirty:
+            target._inbox_dirty = True
+            worker = self._worker_list[target.id.value]
+            if worker.state is _IDLE:
+                self._idle_pending.append(worker)
         if self._hook_visible:
             self.on_visible_operation(target, "enqueue")
 
@@ -830,6 +926,11 @@ class BugFindingRuntime(RuntimeBase):
             fire = self.strategy.pick_fault(self._crash_weight)
         if self._trace is not None:
             self._trace.append(FAULT_TAG, FAULT_CRASH if fire else FAULT_NONE)
+        log = self._nondet_log
+        if log is not None and self._current is not None:
+            log.setdefault(self._current.value, []).append(
+                FAULT_CRASH if fire else FAULT_NONE
+            )
         if fire:
             self._faults_injected += 1
             self._fault_kinds[FAULT_CRASH] += 1
@@ -867,6 +968,13 @@ class BugFindingRuntime(RuntimeBase):
         worker = self._workers.get(machine.id)
         if worker is not None:
             worker.state = _DONE
+            try:
+                # A machine only halts while running, so it is in the
+                # enabled set; discard-style removal keeps double halts
+                # (or exotic subclass call orders) harmless.
+                self._enabled.remove(machine.id)
+            except ValueError:
+                pass
         if self._cov is not None:
             self._cov.record_halt(type(machine))
         if self._monitors_attached:
@@ -930,9 +1038,16 @@ class BugFindingRuntime(RuntimeBase):
         and replays.  Monitor assertion failures surface as
         :class:`MonitorError` (bug kind ``"monitor"``)."""
         trace = self._trace
+        red = self._red
         for instance in observers:
             if trace is not None:
                 trace.append(MONITOR_TAG, instance._monitor_index)
+            if red is not None:
+                # Independence oracle: monitor state is order-sensitive,
+                # so two steps observed by the same monitor never commute
+                # even when their send targets differ.  Monitors get the
+                # negative keys (machine inboxes are >= 0).
+                red.effects.append(-(instance._monitor_index + 1))
             try:
                 instance._observe(event)
             except AssertionFailure as exc:
@@ -1038,9 +1153,16 @@ class BugFindingRuntime(RuntimeBase):
         machine = self._instantiate(machine_cls, payload)
         if self._cov is not None:
             self._cov.record_machine(machine_cls)
+        if self._red is not None:
+            # Independence oracle: creating a machine touches it (nothing
+            # else can have, yet).
+            self._red.effects.append(machine.id.value)
         if inline:
             worker = self._workers[machine.id] = _InlineWorker(self, machine)
             self._worker_list.append(worker)
+            # New ids are allocated in increasing order, so appending
+            # keeps the enabled set sorted.
+            self._enabled.append(machine.id)
             return machine.id
         if self.effective_workers == "pool":
             worker = self._pool.checkout()
@@ -1057,6 +1179,7 @@ class BugFindingRuntime(RuntimeBase):
             worker = _SpawnWorker(self, machine)
         self._workers[machine.id] = worker
         self._worker_list.append(worker)
+        self._enabled.append(machine.id)
         return machine.id
 
     def _worker_retired(self, worker: _PoolWorker) -> None:
@@ -1151,6 +1274,7 @@ class BugFindingRuntime(RuntimeBase):
         machine = worker.machine
         machine._idle_deliverable = False
         machine._inbox_dirty = False
+        self._enabled.remove(machine.id)
         self._handoff(worker, voluntary=True)
         # Woken up: either canceled, or we have a deliverable event.
         if self._canceled:
@@ -1243,6 +1367,9 @@ class BugFindingRuntime(RuntimeBase):
         machines_get = self._machines.get
         monitors_attached = self._monitors_attached
         cov = self._cov
+        red = self._red
+        workers_list = self._worker_list
+        idle_pending = self._idle_pending
         trace = self._trace
         trace_append = None if trace is None else trace.append
         mid = machine.id
@@ -1314,6 +1441,8 @@ class BugFindingRuntime(RuntimeBase):
                                         target is None or target._halted,
                                     )
                                 if target is not None and not target._halted:
+                                    if red is not None:
+                                        red.effects.append(op[1].value)
                                     # Message-fault consultation point
                                     # (kept in sync with send()).
                                     if self._send_fault_active and (
@@ -1324,7 +1453,11 @@ class BugFindingRuntime(RuntimeBase):
                                         )
                                     else:
                                         target._inbox.append(event)
-                                        target._inbox_dirty = True
+                                        if not target._inbox_dirty:
+                                            target._inbox_dirty = True
+                                            seat = workers_list[op[1].value]
+                                            if seat.state is _IDLE:
+                                                idle_pending.append(seat)
                                         if hook_visible:
                                             self.on_visible_operation(
                                                 target, "enqueue"
@@ -1338,6 +1471,8 @@ class BugFindingRuntime(RuntimeBase):
                                 count_step()
                             else:
                                 self._steps = steps
+                            if red is not None:
+                                self._reduction_check()
                             enabled = schedulable()
                             self._sched_points += 1
                             if len(enabled) == 1:
@@ -1345,11 +1480,15 @@ class BugFindingRuntime(RuntimeBase):
                                 observe_forced(choice)
                                 if trace_append is not None:
                                     trace_append(SCHED_TAG, choice.value)
+                                if red is not None:
+                                    self._reduction_chose(choice, enabled)
                             else:
                                 choice = pick_machine(enabled, mid)
                                 self._consulted += 1
                                 if trace_append is not None:
                                     trace_append(SCHED_TAG, choice.value)
+                                if red is not None:
+                                    self._reduction_chose(choice, enabled)
                                 if choice.value != mid_value:
                                     yield choice
                                     if self._canceled:
@@ -1375,6 +1514,7 @@ class BugFindingRuntime(RuntimeBase):
                 # was enqueued since); mirrors _become_idle.
                 machine._idle_deliverable = False
                 machine._inbox_dirty = False
+                self._enabled.remove(mid)
                 yield self._inline_handoff(worker)
                 # Resumed: either canceled, or we have a deliverable event.
                 if self._canceled:
@@ -1415,6 +1555,9 @@ class BugFindingRuntime(RuntimeBase):
         hook_visible = self._hook_visible
         monitors_attached = self._monitors_attached
         cov = self._cov
+        red = self._red
+        workers_list = self._worker_list
+        idle_pending = self._idle_pending
         trace = self._trace
         trace_append = None if trace is None else trace.append
         mid = worker.mid
@@ -1459,6 +1602,8 @@ class BugFindingRuntime(RuntimeBase):
                                 event, machine is None or machine._halted
                             )
                         if machine is not None and not machine._halted:
+                            if red is not None:
+                                red.effects.append(op[1].value)
                             # Message-fault consultation point (kept in
                             # sync with send()).
                             if self._send_fault_active and (
@@ -1467,7 +1612,11 @@ class BugFindingRuntime(RuntimeBase):
                                 self._apply_send_fault(machine, event, fault)
                             else:
                                 machine._inbox.append(event)
-                                machine._inbox_dirty = True
+                                if not machine._inbox_dirty:
+                                    machine._inbox_dirty = True
+                                    seat = workers_list[op[1].value]
+                                    if seat.state is _IDLE:
+                                        idle_pending.append(seat)
                                 if hook_visible:
                                     self.on_visible_operation(machine, "enqueue")
                     else:  # OP_CREATE
@@ -1480,6 +1629,8 @@ class BugFindingRuntime(RuntimeBase):
                         count_step()
                     else:
                         self._steps = steps
+                    if red is not None:
+                        self._reduction_check()
                     enabled = schedulable()
                     self._sched_points += 1
                     if len(enabled) == 1:
@@ -1487,11 +1638,15 @@ class BugFindingRuntime(RuntimeBase):
                         observe_forced(choice)
                         if trace_append is not None:
                             trace_append(SCHED_TAG, choice.value)
+                        if red is not None:
+                            self._reduction_chose(choice, enabled)
                     else:
                         choice = pick_machine(enabled, mid)
                         self._consulted += 1
                         if trace_append is not None:
                             trace_append(SCHED_TAG, choice.value)
+                        if red is not None:
+                            self._reduction_chose(choice, enabled)
                         if choice.value != mid_value:
                             yield choice
                             if self._canceled:
@@ -1521,6 +1676,9 @@ class BugFindingRuntime(RuntimeBase):
             # The threaded worker parks here until cancellation unwinds
             # it; inline, the unwind is immediate.
             raise ExecutionCanceled()
+        # Kept in sync with _handoff: termination above is never pruned.
+        if self._red is not None:
+            self._reduction_check()
         self._sched_points += 1
         if len(enabled) == 1:
             choice = enabled[0]
@@ -1530,12 +1688,53 @@ class BugFindingRuntime(RuntimeBase):
             self._consulted += 1
         if self._trace is not None:
             self._trace.append(SCHED_TAG, choice.value)
+        if self._red is not None:
+            self._reduction_chose(choice, enabled)
         return choice
 
     # ------------------------------------------------------------------
     # The scheduler
     # ------------------------------------------------------------------
     def _schedulable(self) -> List[MachineId]:
+        """The enabled machines, maintained incrementally.
+
+        ``_enabled`` (sorted by machine id, i.e. seat order) is kept up
+        to date by the events that can change it — spawn appends, halt
+        and idle-entry remove — except for one case that is deferred to
+        here: an enqueue to an *idle* machine parks its seat on
+        ``_idle_pending`` instead of re-scanning its inbox at send time,
+        and this drain settles the deliverability verdict once per
+        scheduling point.  The common scheduling point (no idle wake-ups
+        pending) is thus a single list copy instead of an O(#machines)
+        seat walk.  Invariant: an IDLE machine with a dirty inbox is on
+        ``_idle_pending``; deliverability is monotone under enqueue, so
+        an already-deliverable machine never needs rechecking.
+        """
+        pending = self._idle_pending
+        if pending:
+            enabled = self._enabled
+            for seat in pending:
+                # A seat that left IDLE since it was parked (it was
+                # scheduled, or halted) settles its verdict elsewhere.
+                if seat.state is _IDLE:
+                    machine = seat.machine
+                    if machine._inbox_dirty:
+                        machine._inbox_dirty = False
+                        if not machine._idle_deliverable:
+                            machine._idle_deliverable = (
+                                machine._has_deliverable()
+                            )
+                            if machine._idle_deliverable:
+                                insort(enabled, seat.mid, key=_MID_VALUE)
+            pending.clear()
+        return self._enabled[:]
+
+    def _schedulable_walk(self) -> List[MachineId]:
+        """Reference implementation of :meth:`_schedulable`: the full
+        O(#machines) seat walk the incremental enabled set replaced.
+        Side-effect free (it neither clears dirty bits nor updates the
+        memo), so equivalence tests can call it next to the incremental
+        path without corrupting the invariant."""
         enabled = []
         append = enabled.append
         for worker in self._worker_list:
@@ -1545,9 +1744,11 @@ class BugFindingRuntime(RuntimeBase):
             elif state is _IDLE:
                 machine = worker.machine
                 if machine._inbox_dirty:
-                    machine._idle_deliverable = machine._has_deliverable()
-                    machine._inbox_dirty = False
-                if machine._idle_deliverable:
+                    # Deliverability is monotone under enqueue: a
+                    # standing True memo needs no rescan.
+                    if machine._idle_deliverable or machine._has_deliverable():
+                        append(worker.mid)
+                elif machine._idle_deliverable:
                     append(worker.mid)
         return enabled
 
@@ -1581,6 +1782,8 @@ class BugFindingRuntime(RuntimeBase):
             self._count_step()
         else:
             self._steps = steps
+        if self._red is not None:
+            self._reduction_check()
         enabled = self._schedulable()
         self._sched_points += 1
         trace = self._trace
@@ -1589,11 +1792,15 @@ class BugFindingRuntime(RuntimeBase):
             self.strategy.observe_forced(choice)
             if trace is not None:
                 trace.append(SCHED_TAG, choice.value)
+            if self._red is not None:
+                self._reduction_chose(choice, enabled)
             return  # the only enabled machine is the running one
         choice = self.strategy.pick_machine(enabled, current)
         self._consulted += 1
         if trace is not None:
             trace.append(SCHED_TAG, choice.value)
+        if self._red is not None:
+            self._reduction_chose(choice, enabled)
         if choice == current:
             return
         current_worker = self._workers[current]
@@ -1620,6 +1827,10 @@ class BugFindingRuntime(RuntimeBase):
             worker.final_wake_consumed = True
             self._check_canceled()
             return
+        # Termination (empty enabled set) is never pruned — the monitor
+        # checks above must run — so the reduction check sits after it.
+        if self._red is not None:
+            self._reduction_check()
         self._sched_points += 1
         if len(enabled) == 1:
             choice = enabled[0]
@@ -1629,6 +1840,8 @@ class BugFindingRuntime(RuntimeBase):
             self._consulted += 1
         if self._trace is not None:
             self._trace.append(SCHED_TAG, choice.value)
+        if self._red is not None:
+            self._reduction_chose(choice, enabled)
         self._workers[choice].signal.release()
         if voluntary:
             worker.signal.acquire()
@@ -1704,6 +1917,102 @@ class BugFindingRuntime(RuntimeBase):
                 )
             else:
                 self._finish("depth-bound")
+            raise ExecutionCanceled()
+
+    # ------------------------------------------------------------------
+    # Schedule-space reduction (repro.testing.reduction)
+    # ------------------------------------------------------------------
+    def state_fingerprint(self) -> bytes:
+        """A stable 16-byte digest of the execution's visible state.
+
+        Covers, per machine in creation order: identity, current state,
+        halted flag, the raised-event slot, the event being handled, the
+        inbox contents, the user-defined fields (``__dict__``), and the
+        log of nondeterministic outcomes the machine has consumed (two
+        executions in the same visible state but holding different
+        ``nondet()`` results have different futures — the log is what
+        makes the fingerprint sound for suspended mid-handler
+        continuations).  Monitors, the step budget already spent and the
+        fault count round it out.  Built exclusively from
+        :func:`repro.testing.reduction.stable_update`, so the digest is
+        independent of ``PYTHONHASHSEED``, worker back-end and process —
+        equal digests across inline/pool/spawn are part of the parity
+        contract and are asserted in the test-suite.
+        """
+        h = blake2b(digest_size=16)
+        update = h.update
+        log = self._nondet_log
+        for machine in self._machines.values():
+            update(b"\x00M")
+            update(str(machine.id.value).encode())
+            update(type(machine).__name__.encode())
+            state = machine._current_state
+            update(state.name.encode() if state is not None else b"-")
+            update(b"\x01" if machine._halted else b"\x02")
+            stable_update(update, machine._raised)
+            stable_update(update, machine._current_event)
+            for event in machine._inbox:
+                stable_update(update, event)
+            for key in sorted(machine.__dict__):
+                update(key.encode())
+                stable_update(update, machine.__dict__[key])
+            if log is not None:
+                stable_update(update, log.get(machine.id.value))
+        for instance in self._monitors:
+            update(b"\x00O")
+            stable_update(update, instance.current_state)
+            update(b"\x01" if instance.is_hot else b"\x02")
+            for key in sorted(instance.__dict__):
+                update(key.encode())
+                stable_update(update, instance.__dict__[key])
+        # The step budget spent so far: two merged states with different
+        # step counts have different remaining budgets under max_steps,
+        # so treating them as equal would be unsound.  Ditto faults.
+        update(str(self._steps).encode())
+        update(str(self._faults_injected).encode())
+        return h.digest()
+
+    def _reduction_check(self) -> None:
+        """State-cache consultation, run at every non-terminal scheduling
+        point before the strategy is consulted.  Dark until the current
+        trace diverges from the previous execution's (a DFS iteration
+        re-executes the previous schedule's prefix decision-for-decision,
+        and the replayed prefix must not prune itself); from the first
+        divergent point on, a fingerprint already in the cache proves the
+        subtree ahead was fully explored, so the execution is cut with an
+        auditable trace record."""
+        red = self._red
+        trace = self._trace
+        if trace is None or not red.cache_on:
+            return
+        if not red.diverged:
+            n = len(trace)
+            prev = red.prev_trace
+            if prev is not None and trace.range_equal(prev, red.checked, n):
+                red.checked = n
+                return
+            red.diverged = True
+        reason = red.check_state(self.state_fingerprint())
+        if reason:
+            trace.append(REDUCTION_TAG, reason)
+            self._finish("pruned")
+            raise ExecutionCanceled()
+
+    def _reduction_chose(self, choice: MachineId, enabled: List[MachineId]) -> None:
+        """Record a scheduling decision with the reduction engine (DPOR
+        race analysis needs every chosen/enabled pair), then apply any
+        learned prefix clause: a choice known to lead into an explored
+        state prunes immediately instead of running to the cache hit."""
+        red = self._red
+        red.chose(choice.value, tuple(m.value for m in enabled))
+        blocked = red.cur_blocked
+        if blocked is not None and choice.value in blocked:
+            red.cur_blocked = None
+            red.clause_prunes += 1
+            trace = self._trace
+            if trace is not None:
+                trace.append(REDUCTION_TAG, REASON_CLAUSE)
+            self._finish("pruned")
             raise ExecutionCanceled()
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 from ..core.events import MachineId
 from .faults import FAULT_SCALE
-from .trace import BOOL, FAULT, INT, LIVENESS, MONITOR, SCHED, ScheduleTrace
+from .trace import BOOL, FAULT, INT, LIVENESS, MONITOR, REDUCTION, SCHED, ScheduleTrace
 
 
 class SchedulingStrategy(ABC):
@@ -59,6 +59,17 @@ class SchedulingStrategy(ABC):
         Branching-only strategies (DFS, random) need not care, since a
         one-option node never branches.
         """
+
+    def attach_reduction(self, engine) -> None:
+        """Offer the strategy a :class:`repro.testing.reduction
+        .ReductionEngine` for the current campaign loop.  DFS-family
+        strategies accept it and switch their machine-choice frames to
+        DPOR backtrack sets; everything else ignores it (state caching,
+        the strategy-agnostic layer, lives in the runtime).  Called by
+        :func:`repro.testing.engine.drive` before the first iteration —
+        and called again with a fresh engine after an ``auto`` backend
+        restart, so implementations must simply replace any previous
+        attachment."""
 
     def pick_fault(self, weight: int) -> bool:
         """Decide whether a candidate fault fires at this consultation
@@ -106,6 +117,28 @@ class _DfsFrame:
         self.index = 0
 
 
+class _DporFrame:
+    """A machine-choice stack frame under dynamic partial-order reduction.
+
+    Where a plain :class:`_DfsFrame` enumerates every branch ``0..options``,
+    a DPOR frame enumerates only ``values`` — the branches the race
+    analysis proved (or conservatively assumed) necessary, starting from a
+    single arbitrary one.  ``values[:pos+1]`` is the frame's sleep set:
+    backtrack insertion checks membership against the whole list, so a
+    branch explored or already queued here is never re-added.  ``enabled``
+    remembers the machine values enabled at this point, both for the
+    "racer not enabled here" conservative fallback and for counting the
+    branches never materialized when the frame pops.
+    """
+
+    __slots__ = ("enabled", "values", "pos")
+
+    def __init__(self, enabled: tuple, first: int) -> None:
+        self.enabled = enabled
+        self.values = [first]
+        self.pos = 0
+
+
 class DfsStrategy(SchedulingStrategy):
     """Systematic depth-first exploration of the schedule tree.
 
@@ -127,27 +160,80 @@ class DfsStrategy(SchedulingStrategy):
         # below the cap is then incomplete (iterative deepening keys off
         # this to decide whether deepening can uncover anything new).
         self.depth_cap_hit = False
+        # Dynamic partial-order reduction, armed by attach_reduction():
+        # machine-choice frames become _DporFrames with explicit backtrack
+        # sets; bool/int/fault frames stay exhaustive _DfsFrames.
+        self._dpor = None
+        # Scheduling points where the DPOR frame offered exactly one branch
+        # while more than one machine was enabled: the runtime consulted us
+        # but reduction predetermined the answer.  The runtime subtracts
+        # this from consulted_decisions so the consulted-vs-forced
+        # telemetry ratio keeps meaning "real branching" under reduction.
+        self.reduction_forced = 0
 
     def reset(self) -> None:
         self._stack = []
         self._cursor = 0
         self._started = False
         self.depth_cap_hit = False
+        self.reduction_forced = 0
+
+    def attach_reduction(self, engine) -> None:
+        self._dpor = engine if engine is not None and engine.dpor else None
 
     def prepare_iteration(self) -> bool:
         if not self._started:
             self._started = True
             self._cursor = 0
             return True
+        dpor = self._dpor
+        if dpor is not None:
+            # Mine the execution that just finished for races and insert
+            # backtrack branches into the still-standing frames *before*
+            # unwinding them.
+            dpor.analyze(self._add_backtrack)
         # Backtrack: drop exhausted suffix, advance the deepest frame that
         # still has unexplored branches.
-        while self._stack and self._stack[-1].index >= self._stack[-1].options - 1:
-            self._stack.pop()
-        if not self._stack:
+        stack = self._stack
+        advanced = False
+        while stack:
+            top = stack[-1]
+            if type(top) is _DporFrame:
+                if top.pos < len(top.values) - 1:
+                    top.pos += 1
+                    advanced = True
+                    break
+                if dpor is not None:
+                    dpor.count_skipped(len(top.enabled) - len(top.values))
+                stack.pop()
+            else:
+                if top.index < top.options - 1:
+                    top.index += 1
+                    advanced = True
+                    break
+                stack.pop()
+        if not advanced:
             return False
-        self._stack[-1].index += 1
         self._cursor = 0
         return True
+
+    def _add_backtrack(self, depth: int, value: Optional[int]) -> None:
+        """DPOR callback: ensure the frame at ``depth`` will explore
+        ``value`` (or, when None, every machine enabled there)."""
+        stack = self._stack
+        if depth >= len(stack):
+            return
+        frame = stack[depth]
+        if type(frame) is not _DporFrame:
+            return
+        values = frame.values
+        if value is not None:
+            if value not in values and value in frame.enabled:
+                values.append(value)
+        else:
+            for v in frame.enabled:
+                if v not in values:
+                    values.append(v)
 
     def _choose(self, options: int) -> int:
         if options <= 0:
@@ -161,6 +247,11 @@ class DfsStrategy(SchedulingStrategy):
         if self._cursor == len(self._stack):
             self._stack.append(_DfsFrame(options))
         frame = self._stack[self._cursor]
+        if type(frame) is _DporFrame:
+            # Divergence guard: a value choice landed where a machine
+            # choice used to be; take the first branch like min() below.
+            self._cursor += 1
+            return 0
         # The schedule prefix replays deterministically, so the branching
         # factor matches what was recorded; min() guards divergence.
         index = min(frame.index, options - 1)
@@ -170,7 +261,31 @@ class DfsStrategy(SchedulingStrategy):
     def pick_machine(
         self, enabled: Sequence[MachineId], current: Optional[MachineId]
     ) -> MachineId:
-        return enabled[self._choose(len(enabled))]
+        dpor = self._dpor
+        if dpor is None:
+            return enabled[self._choose(len(enabled))]
+        if self._cursor >= self._max_depth:
+            self.depth_cap_hit = True
+            self._cursor += 1
+            return enabled[0]
+        cursor = self._cursor
+        if cursor == len(self._stack):
+            self._stack.append(
+                _DporFrame(tuple(m.value for m in enabled), enabled[0].value)
+            )
+        frame = self._stack[cursor]
+        self._cursor = cursor + 1
+        if type(frame) is not _DporFrame:
+            # Divergence guard (machine choice where a value choice was).
+            return enabled[min(frame.index, len(enabled) - 1)]
+        dpor.bind_frame(cursor)
+        if len(frame.values) == 1:
+            self.reduction_forced += 1
+        value = frame.values[frame.pos]
+        for mid in enabled:
+            if mid.value == value:
+                return mid
+        return enabled[0]  # divergence guard
 
     def pick_bool(self) -> bool:
         return bool(self._choose(2))
@@ -209,10 +324,26 @@ class IterativeDeepeningDfsStrategy(SchedulingStrategy):
         self._max_depth = max_depth
         self.depth = initial_depth
         self._dfs = DfsStrategy(max_depth=initial_depth)
+        self._engine = None
+        # reduction_forced accumulated by inner DFS instances already
+        # retired by deepening (each deepening swaps in a fresh inner DFS
+        # whose counter restarts at zero).
+        self._forced_base = 0
 
     def reset(self) -> None:
         self.depth = self._initial_depth
         self._dfs = DfsStrategy(max_depth=self._initial_depth)
+        self._forced_base = 0
+        if self._engine is not None:
+            self._dfs.attach_reduction(self._engine)
+
+    def attach_reduction(self, engine) -> None:
+        self._engine = engine
+        self._dfs.attach_reduction(engine)
+
+    @property
+    def reduction_forced(self) -> int:
+        return self._forced_base + self._dfs.reduction_forced
 
     def prepare_iteration(self) -> bool:
         if self._dfs.prepare_iteration():
@@ -220,7 +351,14 @@ class IterativeDeepeningDfsStrategy(SchedulingStrategy):
         if not self._dfs.depth_cap_hit or self.depth >= self._max_depth:
             return False
         self.depth = min(self.depth * self._factor, self._max_depth)
+        self._forced_base += self._dfs.reduction_forced
         self._dfs = DfsStrategy(max_depth=self.depth)
+        if self._engine is not None:
+            # The deepened pass re-explores the whole tree from scratch;
+            # states (and clauses) cached by the shallower pass would
+            # prune it to nothing.
+            self._engine.reset_search()
+            self._dfs.attach_reduction(self._engine)
         return self._dfs.prepare_iteration()
 
     def pick_machine(
@@ -354,19 +492,22 @@ class ReplayStrategy(SchedulingStrategy):
     Once the trace is exhausted (e.g. when replaying a prefix), falls back
     to the first enabled machine so that the execution still terminates.
 
-    Monitor-invocation entries (kind ``"monitor"``) and temperature
-    firings (kind ``"liveness"``) are runtime-recorded observations, not
-    strategy decisions; they are filtered out here and re-recorded
-    deterministically by the replaying runtime — the liveness marker's
-    presence additionally tells the runtime whether (and that only at the
-    recorded end) a temperature bug should fire during this replay.
+    Monitor-invocation entries (kind ``"monitor"``), temperature firings
+    (kind ``"liveness"``) and reduction cutoffs (kind ``"reduction"``)
+    are runtime-recorded observations, not strategy decisions; they are
+    filtered out here and re-recorded deterministically by the replaying
+    runtime — the liveness marker's presence additionally tells the
+    runtime whether (and that only at the recorded end) a temperature bug
+    should fire during this replay.
     """
 
     name = "replay"
 
     def __init__(self, trace: ScheduleTrace) -> None:
         self._trace = [
-            d for d in trace.decisions if d[0] != MONITOR and d[0] != LIVENESS
+            d
+            for d in trace.decisions
+            if d[0] != MONITOR and d[0] != LIVENESS and d[0] != REDUCTION
         ]
         self._liveness_recorded = any(
             kind == LIVENESS for kind, _ in trace.decisions

@@ -45,6 +45,17 @@ LIVENESS = "liveness"
 # replay bit-identically: ReplayStrategy re-fires exactly the recorded
 # outcomes and never invents new faults.
 FAULT = "fault"
+# A schedule-space-reduction cutoff (value: the reason code from
+# :mod:`repro.testing.reduction` — 1 state-cache hit, 2 learned prefix
+# clause).  Appended when the runtime abandons an execution whose state
+# was already explored, so reduced campaigns leave an auditable record
+# and checkpoint/merge tooling can tell a pruned schedule from a
+# completed one.  Like monitor/liveness entries it is a runtime
+# observation, not a strategy decision: ReplayStrategy filters it out,
+# which is what makes a *bug* trace found under reduction (which by
+# construction carries no cutoff — pruned executions never reach a bug)
+# replay bit-identically with reduction off.
+REDUCTION = "reduction"
 
 # Compact kind tags used in the flat encoding; the string kinds above
 # remain the public vocabulary (and the wire format).
@@ -54,6 +65,7 @@ INT_TAG = 2
 MONITOR_TAG = 3
 LIVENESS_TAG = 4
 FAULT_TAG = 5
+REDUCTION_TAG = 6
 
 _TAG_OF = {
     SCHED: SCHED_TAG,
@@ -62,8 +74,9 @@ _TAG_OF = {
     MONITOR: MONITOR_TAG,
     LIVENESS: LIVENESS_TAG,
     FAULT: FAULT_TAG,
+    REDUCTION: REDUCTION_TAG,
 }
-_KIND_OF = (SCHED, BOOL, INT, MONITOR, LIVENESS, FAULT)
+_KIND_OF = (SCHED, BOOL, INT, MONITOR, LIVENESS, FAULT, REDUCTION)
 
 Decision = Tuple[str, int]
 
@@ -118,6 +131,23 @@ class ScheduleTrace:
 
     def __hash__(self) -> int:
         return hash((bytes(self._tags), self._values.tobytes()))
+
+    def range_equal(self, other: "ScheduleTrace", start: int, end: int) -> bool:
+        """Whether ``self[start:end]`` matches ``other`` at the same
+        positions (False when ``other`` is shorter than ``end``).
+
+        The state cache's divergence test: a DFS iteration re-executes
+        the schedule prefix of the previous one decision-for-decision,
+        and fingerprint pruning must stay dark until the traces actually
+        part ways — otherwise the replayed prefix would prune itself.
+        Array slices compare element-wise in C, so the per-point cost is
+        two small slice copies."""
+        if end > len(other._tags):
+            return False
+        return (
+            self._tags[start:end] == other._tags[start:end]
+            and self._values[start:end] == other._values[start:end]
+        )
 
     def fingerprint(self) -> str:
         """A stable hex digest of the decision sequence.
@@ -187,6 +217,8 @@ class ScheduleTrace:
                 parts.append(f"hot!{value}")
             elif tag == FAULT_TAG:
                 parts.append(f"x{value}")
+            elif tag == REDUCTION_TAG:
+                parts.append(f"cut{value}")
             else:
                 parts.append(f"i{value}")
         return " ".join(parts)

@@ -1,0 +1,548 @@
+"""Schedule-space reduction: DPOR, state caching, learned clauses.
+
+Covers the three layers of :mod:`repro.testing.reduction` end to end:
+the stable state hashing (``PYTHONHASHSEED``-proof, container-order
+independent), the exhaustive-DFS A/B contract (identical bug set, at
+most 0.6x the schedules), cross-back-end determinism of fingerprints
+and pruning decisions (including the ``workers="auto"`` mid-campaign
+restart), replay fidelity of bug traces found under reduction, the
+incremental enabled-set's equivalence to the reference seat walk, the
+``consulted_decisions`` accounting fix for DPOR-forced choices, and the
+config/CLI/report plumbing that surfaces it all.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get
+from repro.errors import PSharpError
+from repro.testing import (
+    DEFAULT_STATE_CACHE_SIZE,
+    REDUCTION_MODES,
+    BugFindingRuntime,
+    DfsStrategy,
+    IterativeDeepeningDfsStrategy,
+    RandomStrategy,
+    ReductionEngine,
+    ReplayStrategy,
+    ScheduleTrace,
+    TestConfig,
+    TestReport,
+    drive,
+    normalize_reduction,
+    replay,
+)
+from repro.testing.reduction import REASON_STATE, stable_update
+from repro.testing.reporting import report_json
+from repro.testing.trace import REDUCTION, SCHED
+
+from .machines import Ping
+from .test_config import MidCampaignRacer
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Exhaustive-DFS A/B fixtures: (benchmark, max_depth, max_steps).
+#: Depths chosen so every arm terminates by exhaustion in well under a
+#: second on the inline backend; TokenRing's steps are capped because
+#: beyond ``max_depth`` the DFS falls back to first-enabled and the
+#: ring otherwise spins to the default budget.
+AB_CASES = [
+    ("BoundedAsync", 8, 2_000),
+    ("TwoPhaseCommit", 8, 2_000),
+    ("TokenRing", 7, 200),
+]
+
+
+def _exhaustive(name, depth, max_steps, mode, workers="inline", **kwargs):
+    """Run a to-exhaustion DFS campaign over a buggy registry variant."""
+    variant = get(name).buggy
+    return drive(
+        variant.main,
+        variant.payload,
+        DfsStrategy(max_depth=depth),
+        max_iterations=500_000,
+        time_limit=240.0,
+        max_steps=max_steps,
+        stop_on_first_bug=False,
+        workers=workers,
+        monitors=tuple(variant.monitors),
+        reduction=mode,
+        **kwargs,
+    )
+
+
+def _bug_set(report):
+    return sorted({(bug.kind, bug.message) for bug in report.bugs})
+
+
+def _digest(obj):
+    from hashlib import blake2b
+
+    h = blake2b(digest_size=16)
+    stable_update(h.update, obj)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Mode validation and config plumbing
+# ---------------------------------------------------------------------------
+class TestModeValidation:
+    def test_normalize_accepts_every_mode(self):
+        assert normalize_reduction(None) == "none"
+        for mode in REDUCTION_MODES:
+            assert normalize_reduction(mode) == mode
+
+    def test_normalize_rejects_unknown(self):
+        with pytest.raises(PSharpError, match="reduction must be one of"):
+            normalize_reduction("por")
+
+    def test_engine_refuses_none_mode(self):
+        with pytest.raises(PSharpError, match="active"):
+            ReductionEngine("none")
+
+    def test_engine_refuses_empty_cache(self):
+        with pytest.raises(PSharpError, match="state_cache_size"):
+            ReductionEngine("dpor+state-cache", state_cache_size=0)
+
+    def test_config_validates_and_round_trips(self):
+        config = TestConfig(
+            program=Ping, reduction="dpor+state-cache", state_cache_size=512
+        )
+        again = TestConfig.from_json(config.to_json())
+        assert again.reduction == "dpor+state-cache"
+        assert again.state_cache_size == 512
+
+    def test_config_defaults(self):
+        config = TestConfig(program=Ping)
+        assert config.reduction == "none"
+        assert config.state_cache_size == DEFAULT_STATE_CACHE_SIZE
+
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(PSharpError):
+            TestConfig(program=Ping, reduction="bogus")
+        with pytest.raises(PSharpError):
+            TestConfig(program=Ping, state_cache_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Stable hashing
+# ---------------------------------------------------------------------------
+class TestStableHash:
+    def test_dict_insertion_order_independent(self):
+        a = {"x": 1, "y": [2, 3]}
+        b = {"y": [2, 3], "x": 1}
+        assert _digest(a) == _digest(b)
+
+    def test_set_iteration_order_independent(self):
+        assert _digest({"a", "bb", "ccc"}) == _digest({"ccc", "a", "bb"})
+
+    def test_container_types_do_not_collide(self):
+        digests = {_digest([1, 2]), _digest((1, 2)), _digest("12"), _digest(12)}
+        assert len(digests) == 4
+
+    def test_scalars_distinguished(self):
+        assert _digest(True) != _digest(1)
+        assert _digest(None) != _digest(False)
+        assert _digest(1.0) != _digest(1)
+
+    def test_default_repr_degrades_deterministically(self):
+        class Opaque:
+            pass
+
+        assert _digest(Opaque()) == _digest(Opaque())
+
+    def test_hash_seed_independent(self):
+        # The whole point: equal values digest equally in a process with a
+        # different (randomized) string hash seed.
+        code = (
+            "from repro.testing.reduction import stable_update\n"
+            "from hashlib import blake2b\n"
+            "h = blake2b(digest_size=16)\n"
+            "stable_update(h.update, {'x': {1, 2}, 'y': ('z', b'q')})\n"
+            "print(h.hexdigest())\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        outs = set()
+        for seed in ("0", "4242"):
+            env["PYTHONHASHSEED"] = seed
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1
+        assert outs == {_digest({"x": {1, 2}, "y": ("z", b"q")})}
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive-DFS A/B: same bugs, strictly fewer schedules
+# ---------------------------------------------------------------------------
+class TestExhaustiveAB:
+    @pytest.mark.parametrize("name,depth,max_steps", AB_CASES)
+    def test_dpor_same_bugs_fewer_schedules(self, name, depth, max_steps):
+        base = _exhaustive(name, depth, max_steps, "none")
+        dpor = _exhaustive(name, depth, max_steps, "dpor")
+        assert base.exhausted and dpor.exhausted
+        assert _bug_set(dpor) == _bug_set(base)
+        # The acceptance gate: reduction must pay for itself.
+        assert dpor.iterations <= 0.6 * base.iterations
+        assert dpor.schedules_pruned > 0
+        assert base.schedules_pruned == 0 and base.distinct_states == 0
+
+    @pytest.mark.parametrize("name,depth,max_steps", AB_CASES)
+    def test_state_cache_same_bugs_fewer_still(self, name, depth, max_steps):
+        dpor = _exhaustive(name, depth, max_steps, "dpor")
+        cached = _exhaustive(name, depth, max_steps, "dpor+state-cache")
+        assert cached.exhausted
+        assert _bug_set(cached) == _bug_set(dpor)
+        assert cached.iterations < dpor.iterations
+        assert cached.distinct_states > 0
+        assert 0.0 < cached.redundancy_ratio < 1.0
+
+    def test_clause_mode_same_bugs(self):
+        cached = _exhaustive("TwoPhaseCommit", 8, 2_000, "dpor+state-cache")
+        clauses = _exhaustive(
+            "TwoPhaseCommit", 8, 2_000, "dpor+state-cache+clauses"
+        )
+        assert clauses.exhausted
+        assert _bug_set(clauses) == _bug_set(cached)
+        assert clauses.iterations <= cached.iterations
+
+    def test_consulted_accounting_shrinks_under_dpor(self):
+        # The satellite bugfix: DPOR-forced one-branch frames must not be
+        # billed as consulted decisions, so the consulted count drops
+        # along with the schedule count instead of drifting.
+        base = _exhaustive("BoundedAsync", 8, 2_000, "none")
+        dpor = _exhaustive("BoundedAsync", 8, 2_000, "dpor")
+        assert 0 < dpor.consulted_decisions < base.consulted_decisions
+
+
+# ---------------------------------------------------------------------------
+# Cross-back-end determinism
+# ---------------------------------------------------------------------------
+class TestCrossBackendDeterminism:
+    @pytest.mark.parametrize(
+        "mode", ["dpor", "dpor+state-cache", "dpor+state-cache+clauses"]
+    )
+    def test_backends_agree_on_everything(self, mode):
+        reports = {
+            workers: _exhaustive("TwoPhaseCommit", 7, 2_000, mode, workers)
+            for workers in ("inline", "pool", "spawn")
+        }
+        inline = reports["inline"]
+        assert inline.iterations > 0
+        for workers in ("pool", "spawn"):
+            other = reports[workers]
+            assert other.effective_backend == workers
+            assert other.iterations == inline.iterations
+            assert other.distinct_states == inline.distinct_states
+            assert other.schedules_pruned == inline.schedules_pruned
+            assert _bug_set(other) == _bug_set(inline)
+            assert [b.trace.fingerprint() for b in other.bugs] == [
+                b.trace.fingerprint() for b in inline.bugs
+            ]
+
+    def test_auto_restart_matches_explicit_pool(self):
+        # MidCampaignRacer spawns an inline-incompatible child
+        # mid-execution: workers="auto" restarts the campaign on the
+        # pooled backend with a *fresh* reduction engine, so fingerprints
+        # and pruning decisions must be bit-identical to an explicit
+        # pooled run.
+        def campaign(workers):
+            return drive(
+                MidCampaignRacer,
+                None,
+                RandomStrategy(seed=3),
+                max_iterations=40,
+                time_limit=60.0,
+                max_steps=2_000,
+                stop_on_first_bug=False,
+                workers=workers,
+                reduction="dpor+state-cache",
+            )
+
+        auto = campaign("auto")
+        pool = campaign("pool")
+        assert auto.effective_backend == "pool"
+        assert auto.iterations == pool.iterations
+        assert auto.distinct_states == pool.distinct_states
+        assert auto.schedules_pruned == pool.schedules_pruned
+        assert [b.trace.fingerprint() for b in auto.bugs] == [
+            b.trace.fingerprint() for b in pool.bugs
+        ]
+
+    def test_state_fingerprint_stable_across_backends(self):
+        variant = get("TwoPhaseCommit").buggy
+
+        def initial_fingerprint(workers):
+            strategy = DfsStrategy(max_depth=1)
+            strategy.prepare_iteration()
+            runtime = BugFindingRuntime(
+                strategy, max_steps=50, workers=workers,
+                monitors=tuple(variant.monitors),
+            )
+            runtime.execute(variant.main, variant.payload)
+            # Post-execution state: every machine settled, same digest
+            # expected whichever backend drove the handlers.
+            return runtime.state_fingerprint()
+
+        prints = {initial_fingerprint(w) for w in ("inline", "pool", "spawn")}
+        assert len(prints) == 1
+
+
+# ---------------------------------------------------------------------------
+# Replay of bugs found under reduction
+# ---------------------------------------------------------------------------
+class TestReducedTraceReplay:
+    def test_bug_trace_replays_on_every_backend(self):
+        variant = get("TwoPhaseCommit").buggy
+        report = drive(
+            variant.main,
+            variant.payload,
+            DfsStrategy(max_depth=8),
+            max_iterations=500_000,
+            time_limit=120.0,
+            max_steps=2_000,
+            stop_on_first_bug=True,
+            workers="inline",
+            monitors=tuple(variant.monitors),
+            reduction="dpor+state-cache",
+        )
+        bug = report.first_bug
+        assert bug is not None
+        for workers in ("inline", "pool", "spawn"):
+            result = replay(
+                variant.main,
+                bug.trace,
+                variant.payload,
+                max_steps=2_000,
+                workers=workers,
+                monitors=tuple(variant.monitors),
+            )
+            assert result.status == "bug"
+            assert result.bug.kind == bug.kind
+            assert result.bug.message == bug.message
+            assert result.trace == bug.trace
+
+
+# ---------------------------------------------------------------------------
+# Trace records and replay filtering
+# ---------------------------------------------------------------------------
+class TestReductionTraceRecords:
+    def test_round_trip_and_rendering(self):
+        trace = ScheduleTrace()
+        trace.record(SCHED, 0)
+        trace.record(REDUCTION, REASON_STATE)
+        again = ScheduleTrace.from_json(trace.to_json())
+        assert again == trace
+        assert "cut1" in str(trace)
+
+    def test_replay_strategy_skips_reduction_records(self):
+        trace = ScheduleTrace()
+        trace.record(SCHED, 0)
+        trace.record(REDUCTION, REASON_STATE)
+        strategy = ReplayStrategy(trace)
+        assert strategy._trace == [(SCHED, 0)]
+
+    def test_pruned_executions_end_with_a_marker(self):
+        # Drive the iteration loop by hand so pruned executions are
+        # observable (the campaign loop only retains bug traces): a
+        # state-cache hit must surface as status "pruned" with the
+        # reduction record as the trace's final decision.
+        variant = get("BoundedAsync").buggy
+        strategy = DfsStrategy(max_depth=8)
+        engine = ReductionEngine("dpor+state-cache")
+        strategy.attach_reduction(engine)
+        runtime = BugFindingRuntime(
+            strategy, max_steps=2_000, workers="inline",
+            monitors=tuple(variant.monitors), reduction=engine,
+        )
+        pruned = []
+        for _ in range(200):
+            if not strategy.prepare_iteration():
+                break
+            result = runtime.execute(variant.main, variant.payload)
+            if result.status == "pruned":
+                pruned.append(result)
+        assert pruned, "exhaustive cached DFS never hit the state cache"
+        for result in pruned:
+            assert result.bug is None
+            kind, value = result.trace.decisions[-1]
+            assert kind == REDUCTION
+            assert value == REASON_STATE
+
+
+# ---------------------------------------------------------------------------
+# Iterative deepening
+# ---------------------------------------------------------------------------
+class TestIterativeDeepening:
+    @pytest.mark.parametrize("mode", ["dpor", "dpor+state-cache"])
+    def test_finds_bug_across_deepening_resets(self, mode):
+        variant = get("TwoPhaseCommit").buggy
+        report = drive(
+            variant.main,
+            variant.payload,
+            IterativeDeepeningDfsStrategy(initial_depth=2, max_depth=8),
+            max_iterations=500_000,
+            time_limit=120.0,
+            max_steps=2_000,
+            stop_on_first_bug=True,
+            workers="inline",
+            monitors=tuple(variant.monitors),
+            reduction=mode,
+        )
+        assert report.bug_found
+        assert report.consulted_decisions > 0
+
+
+# ---------------------------------------------------------------------------
+# Incremental enabled set == reference walk
+# ---------------------------------------------------------------------------
+class _CheckedRuntime(BugFindingRuntime):
+    """Asserts, at every scheduling point, that the incremental enabled
+    set agrees with the O(#machines) reference walk.  The walk runs
+    first — it is side-effect free, while the incremental drain clears
+    dirty bits."""
+
+    checks = 0
+
+    def _schedulable(self):
+        expected = self._schedulable_walk()
+        got = super()._schedulable()
+        assert got == expected, (got, expected)
+        _CheckedRuntime.checks += 1
+        return got
+
+
+class TestEnabledSetEquivalence:
+    @pytest.mark.parametrize("workers", ["inline", "pool"])
+    def test_agrees_with_walk(self, workers):
+        variant = get("TwoPhaseCommit").buggy
+        before = _CheckedRuntime.checks
+        report = drive(
+            variant.main,
+            variant.payload,
+            RandomStrategy(seed=5),
+            max_iterations=25,
+            time_limit=60.0,
+            max_steps=2_000,
+            stop_on_first_bug=False,
+            workers=workers,
+            monitors=tuple(variant.monitors),
+            runtime_factory=_CheckedRuntime,
+        )
+        assert report.iterations == 25
+        assert _CheckedRuntime.checks > before
+
+    def test_agrees_under_fault_injection(self):
+        # Message loss and crash-restart mutate inboxes outside the happy
+        # path (dropped sends must NOT wake the target; a restarted
+        # machine re-enters with its inbox intact), so run the checked
+        # runtime over the fault-injected registry variants too.
+        for name in ("RaftLossy", "TwoPhaseCommitCrash"):
+            variant = get(name).buggy
+            before = _CheckedRuntime.checks
+            drive(
+                variant.main,
+                variant.payload,
+                RandomStrategy(seed=9),
+                max_iterations=15,
+                time_limit=120.0,
+                max_steps=2_000,
+                stop_on_first_bug=False,
+                workers="inline",
+                monitors=tuple(variant.monitors),
+                faults=variant.faults,
+                runtime_factory=_CheckedRuntime,
+            )
+            assert _CheckedRuntime.checks > before
+
+
+# ---------------------------------------------------------------------------
+# Report surface
+# ---------------------------------------------------------------------------
+class TestReportSurface:
+    def test_summary_mentions_reduction_only_when_active(self):
+        quiet = TestReport(strategy="dfs")
+        assert "pruned" not in quiet.summary()
+        loud = TestReport(
+            strategy="dfs", iterations=60,
+            distinct_states=483, schedules_pruned=40,
+        )
+        text = loud.summary()
+        assert "states=483" in text
+        assert "pruned=40" in text
+        assert "40% redundant" in text
+
+    def test_redundancy_ratio(self):
+        report = TestReport(
+            strategy="dfs", iterations=60, schedules_pruned=40
+        )
+        assert report.redundancy_ratio == pytest.approx(0.4)
+        assert TestReport(strategy="dfs").redundancy_ratio == 0.0
+
+    def test_merge_folds_shard_counters(self):
+        a = TestReport(
+            strategy="a", iterations=10,
+            distinct_states=100, schedules_pruned=7,
+        )
+        b = TestReport(
+            strategy="b", iterations=10,
+            distinct_states=50, schedules_pruned=3,
+        )
+        merged = TestReport.merged([a, b])
+        assert merged.distinct_states == 150
+        assert merged.schedules_pruned == 10
+        detached = merged.detached()
+        assert detached.distinct_states == 150
+        assert detached.schedules_pruned == 10
+
+    def test_report_json_carries_reduction_stats(self):
+        report = _exhaustive("BoundedAsync", 8, 2_000, "dpor+state-cache")
+        payload = report_json(report)
+        assert payload["distinct_states"] == report.distinct_states
+        assert payload["schedules_pruned"] == report.schedules_pruned
+        assert payload["redundancy_ratio"] == pytest.approx(
+            report.redundancy_ratio
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def run_cli(*args, timeout=180):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=ROOT, timeout=timeout,
+    )
+
+
+class TestCli:
+    def test_reduction_flag_end_to_end(self):
+        proc = run_cli(
+            "test", "TwoPhaseCommit",
+            "--strategy", "dfs,max_depth=8",
+            "--reduction", "dpor+state-cache",
+            "--max-iterations", "500000",
+            "--max-steps", "2000",
+            "--expect-bug",
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "states=" in proc.stdout
+        assert "pruned=" in proc.stdout
+
+    def test_unknown_reduction_rejected(self):
+        proc = run_cli(
+            "test", "BoundedAsync", "--reduction", "magic",
+            "--max-iterations", "5",
+        )
+        assert proc.returncode == 2
